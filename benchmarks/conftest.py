@@ -1,0 +1,43 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table or figure of the paper. Simulations
+are memoised process-wide, so figures sharing configurations (10-15) reuse
+each other's runs. ``REPRO_BENCH_SCALE`` shrinks or grows the workloads
+(default 0.5 of the full trip counts); results are printed and archived
+under ``bench_results/``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+#: Loop-trip-count multiplier for all benchmark simulations.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "bench_results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return SCALE
+
+
+def archive(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a reproduced table and save it next to the repo."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, fn):
+    """Time one figure regeneration (memoisation makes retimes cheap)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,36 @@
+"""Figure 10: headline IPC comparison — CCWS, LAWS, CCWS+STR, LAWS+STR, APRES."""
+
+from conftest import archive, run_once
+from repro.experiments import figures
+from repro.experiments.report import format_table
+
+
+def test_fig10_performance(benchmark, results_dir, scale):
+    data = run_once(benchmark, lambda: figures.figure10(scale=scale))
+
+    apps = [a for a in next(iter(data.values())) if not a.startswith("GMEAN")]
+    rows = [
+        [config]
+        + [f"{data[config][a]:.2f}" for a in apps]
+        + [f"{data[config]['GMEAN']:.2f}", f"{data[config]['GMEAN-MEM']:.2f}"]
+        for config in figures.FIG10_CONFIGS
+    ]
+    text = format_table(
+        ["Config"] + apps + ["GMEAN", "GMEAN-MEM"],
+        rows,
+        title="Figure 10 — speedup over baseline (LRR, no prefetching)",
+    )
+    archive(results_dir, "figure10", text)
+
+    assert set(data) == set(figures.FIG10_CONFIGS)
+    # Core shape claims of Section V-B on this substrate:
+    # (1) CCWS's warp throttling dominates on KM's pathological thrash.
+    assert data["ccws"]["KM"] > 1.2
+    assert data["ccws"]["KM"] > data["apres"]["KM"] - 0.05
+    # (2) APRES's biggest wins come from strided memory-intensive apps.
+    assert data["apres"]["LUD"] > 1.1
+    # (3) APRES does not lose to plain LAWS anywhere significant: SAP adds.
+    assert data["apres"]["GMEAN"] >= data["laws"]["GMEAN"] - 0.02
+    # (4) Nothing catastrophically regresses under APRES.
+    for app in apps:
+        assert data["apres"][app] > 0.85, app

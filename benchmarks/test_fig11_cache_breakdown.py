@@ -1,0 +1,34 @@
+"""Figure 11: L1 hit/miss breakdown for B, C, L, S, A configurations."""
+
+import pytest
+
+from conftest import archive, run_once
+from repro.experiments import figures
+from repro.experiments.report import format_table
+
+
+def test_fig11_cache_breakdown(benchmark, results_dir, scale):
+    data = run_once(benchmark, lambda: figures.figure11(scale=scale))
+
+    rows = []
+    for app, per_config in data.items():
+        for label in figures.FIG11_CONFIGS:
+            r = per_config[label]
+            rows.append([
+                app, label, f"{r.hit_after_hit:.2f}", f"{r.hit_after_miss:.2f}",
+                f"{r.cold:.2f}", f"{r.capacity_conflict:.2f}",
+            ])
+    text = format_table(
+        ["App", "Cfg", "Hit-after-hit", "Hit-after-miss", "Cold", "Cap+Conf"],
+        rows,
+        title="Figure 11 — cache breakdown (B=base C=ccws L=laws S=ccws+str A=apres)",
+    )
+    archive(results_dir, "figure11", text)
+
+    for app, per_config in data.items():
+        for label, r in per_config.items():
+            assert r.hit_ratio + r.miss_ratio == pytest.approx(1.0, abs=1e-6), (app, label)
+    # CCWS's throttling converts KM's capacity misses into hits (Section V-C).
+    km = data["KM"]
+    assert km["C"].capacity_conflict < km["B"].capacity_conflict
+    assert km["C"].hit_ratio > km["B"].hit_ratio

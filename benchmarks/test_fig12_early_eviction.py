@@ -1,0 +1,26 @@
+"""Figure 12: early-eviction ratio, best existing combination vs APRES."""
+
+from conftest import archive, run_once
+from repro.experiments import figures
+from repro.experiments.report import format_table
+
+
+def test_fig12_early_eviction(benchmark, results_dir, scale):
+    data = run_once(benchmark, lambda: figures.figure12(scale=scale))
+
+    apps = [a for a in next(iter(data.values())) if a != "MEAN"]
+    rows = [
+        [config] + [f"{data[config][a]:.3f}" for a in apps] + [f"{data[config]['MEAN']:.3f}"]
+        for config in data
+    ]
+    text = format_table(
+        ["Config"] + apps + ["MEAN"],
+        rows,
+        title="Figure 12 — early eviction ratio: CCWS+STR vs APRES",
+    )
+    archive(results_dir, "figure12", text)
+
+    assert set(data) == {"ccws+str", "apres"}
+    for per_app in data.values():
+        for ratio in per_app.values():
+            assert 0.0 <= ratio <= 1.0

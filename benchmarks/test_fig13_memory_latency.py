@@ -1,0 +1,28 @@
+"""Figure 13: average memory latency, normalised to baseline."""
+
+from conftest import archive, run_once
+from repro.experiments import figures
+from repro.experiments.report import format_table
+
+
+def test_fig13_memory_latency(benchmark, results_dir, scale):
+    data = run_once(benchmark, lambda: figures.figure13(scale=scale))
+
+    apps = [a for a in next(iter(data.values())) if a != "GMEAN"]
+    rows = [
+        [config] + [f"{data[config][a]:.2f}" for a in apps] + [f"{data[config]['GMEAN']:.2f}"]
+        for config in data
+    ]
+    text = format_table(
+        ["Config"] + apps + ["GMEAN"],
+        rows,
+        title="Figure 13 — average memory latency (normalised to baseline)",
+    )
+    archive(results_dir, "figure13", text)
+
+    assert set(data) == {"ccws+str", "apres"}
+    for per_app in data.values():
+        for v in per_app.values():
+            assert v > 0
+    # Where throttling creates hits, average latency collapses (KM).
+    assert data["ccws+str"]["KM"] < 0.8

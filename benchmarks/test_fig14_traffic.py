@@ -1,0 +1,28 @@
+"""Figure 14: memory traffic, normalised to baseline."""
+
+from conftest import archive, run_once
+from repro.experiments import figures
+from repro.experiments.report import format_table
+
+
+def test_fig14_traffic(benchmark, results_dir, scale):
+    data = run_once(benchmark, lambda: figures.figure14(scale=scale))
+
+    apps = [a for a in next(iter(data.values())) if a != "GMEAN"]
+    rows = [
+        [config] + [f"{data[config][a]:.2f}" for a in apps] + [f"{data[config]['GMEAN']:.2f}"]
+        for config in data
+    ]
+    text = format_table(
+        ["Config"] + apps + ["GMEAN"],
+        rows,
+        title="Figure 14 — data traffic (normalised to baseline)",
+    )
+    archive(results_dir, "figure14", text)
+
+    # Both adaptive prefetchers keep traffic near baseline (Section V-E):
+    # confirmation gating avoids wild overfetch.
+    for config, per_app in data.items():
+        assert 0.8 < per_app["GMEAN"] < 1.25, config
+        for app, v in per_app.items():
+            assert v < 1.5, (config, app)

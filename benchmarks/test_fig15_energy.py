@@ -1,0 +1,28 @@
+"""Figure 15: dynamic energy, normalised to baseline."""
+
+from conftest import archive, run_once
+from repro.experiments import figures
+from repro.experiments.report import format_table
+
+
+def test_fig15_energy(benchmark, results_dir, scale):
+    data = run_once(benchmark, lambda: figures.figure15(scale=scale))
+
+    apps = [a for a in next(iter(data.values())) if a != "GMEAN"]
+    rows = [
+        [config] + [f"{data[config][a]:.2f}" for a in apps] + [f"{data[config]['GMEAN']:.2f}"]
+        for config in data
+    ]
+    text = format_table(
+        ["Config"] + apps + ["GMEAN"],
+        rows,
+        title="Figure 15 — dynamic energy (normalised to baseline)",
+    )
+    archive(results_dir, "figure15", text)
+
+    per_app = data["apres"]
+    # Energy tracks runtime and DRAM traffic; APRES must not blow it up —
+    # the paper bounds even its worst case (ST's wasted prefetches) at +10%.
+    assert per_app["GMEAN"] < 1.1
+    for app, v in per_app.items():
+        assert v < 1.25, app

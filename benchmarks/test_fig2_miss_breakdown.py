@@ -1,0 +1,38 @@
+"""Figure 2: L1 miss breakdown, 32 KB baseline (B) vs 32 MB L1 (C)."""
+
+from conftest import archive, run_once
+from repro.experiments import figures
+from repro.experiments.report import format_table
+from repro.workloads.suite import SUITE, memory_intensive_workloads
+
+
+def test_fig2_miss_breakdown(benchmark, results_dir, scale):
+    data = run_once(benchmark, lambda: figures.figure2(scale=scale))
+
+    rows = []
+    for app, variants in data.items():
+        for label in ("B", "C"):
+            r = variants[label]
+            rows.append([
+                app, label, f"{r.cold_ratio:.2f}", f"{r.capacity_conflict_ratio:.2f}",
+                f"{r.miss_rate:.2f}", f"{r.speedup:.2f}",
+            ])
+    text = format_table(
+        ["App", "L1", "Cold", "Cap+Conf", "MissRate", "Speedup"],
+        rows,
+        title="Figure 2 — miss breakdown: 32KB baseline (B) vs 32MB (C)",
+    )
+    archive(results_dir, "figure2", text)
+
+    assert set(data) == set(SUITE)
+    mem_apps = [w.abbr for w in memory_intensive_workloads()]
+    # The large cache eliminates (nearly) all capacity+conflict misses...
+    for app in data:
+        assert data[app]["C"].capacity_conflict_ratio <= max(
+            0.02, data[app]["B"].capacity_conflict_ratio
+        )
+    # ... and thrashing apps convert that into speedup (Section III-A).
+    assert data["KM"]["B"].capacity_conflict_ratio > 0.5
+    assert data["KM"]["C"].speedup > 1.2
+    mean_speedup = sum(data[a]["C"].speedup for a in mem_apps) / len(mem_apps)
+    assert mean_speedup > 1.0

@@ -1,0 +1,31 @@
+"""Figure 3: speedup of scheduler x prefetcher combinations over baseline."""
+
+from conftest import archive, run_once
+from repro.experiments import figures
+from repro.experiments.report import format_table
+
+
+def test_fig3_sched_prefetch_combos(benchmark, results_dir, scale):
+    data = run_once(benchmark, lambda: figures.figure3(scale=scale))
+
+    apps = [a for a in next(iter(data.values())) if a != "GMEAN"]
+    rows = [
+        [config] + [f"{data[config][a]:.2f}" for a in apps] + [f"{data[config]['GMEAN']:.2f}"]
+        for config in figures.FIG3_CONFIGS
+    ]
+    text = format_table(
+        ["Config"] + apps + ["GMEAN"],
+        rows,
+        title="Figure 3 — scheduler x prefetcher speedups (normalised to baseline)",
+    )
+    archive(results_dir, "figure3", text)
+
+    assert set(data) == set(figures.FIG3_CONFIGS)
+    for config, per_app in data.items():
+        for app, value in per_app.items():
+            assert value > 0, (config, app)
+    # Section III-C: STR covers arbitrarily large strides, SLD only 4-line
+    # macro-blocks, so CCWS+STR should not lose to CCWS+SLD overall.
+    assert data["ccws+str"]["GMEAN"] >= data["ccws+sld"]["GMEAN"] - 0.02
+    # The combination the paper calls best must help where thrash dominates.
+    assert data["ccws+str"]["KM"] > 1.2

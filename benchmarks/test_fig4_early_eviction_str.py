@@ -1,0 +1,29 @@
+"""Figure 4: early-eviction ratio of STR under four schedulers."""
+
+from conftest import archive, run_once
+from repro.experiments import figures
+from repro.experiments.report import format_table
+
+
+def test_fig4_early_eviction_str(benchmark, results_dir, scale):
+    data = run_once(benchmark, lambda: figures.figure4(scale=scale))
+
+    apps = [a for a in next(iter(data.values())) if a != "MEAN"]
+    rows = [
+        [config] + [f"{data[config][a]:.3f}" for a in apps] + [f"{data[config]['MEAN']:.3f}"]
+        for config in figures.FIG4_CONFIGS
+    ]
+    text = format_table(
+        ["Config"] + apps + ["MEAN"],
+        rows,
+        title="Figure 4 — early eviction ratio of STR prefetching",
+    )
+    archive(results_dir, "figure4", text)
+
+    assert set(data) == set(figures.FIG4_CONFIGS)
+    for config, per_app in data.items():
+        for app, ratio in per_app.items():
+            assert 0.0 <= ratio <= 1.0, (config, app)
+        # Prefetched lines do get evicted early under every scheduler —
+        # the headroom APRES goes after (Section III-C).
+        assert per_app["MEAN"] > 0.0

@@ -1,0 +1,27 @@
+"""Table II: APRES hardware cost (724 bytes per SM)."""
+
+from conftest import archive, run_once
+from repro.experiments import figures
+from repro.experiments.report import format_table
+
+
+def test_table2_hardware_cost(benchmark, results_dir):
+    cost = run_once(benchmark, figures.table2)
+
+    text = format_table(
+        ["Module", "Structure", "Bytes"],
+        [
+            ["LAWS", "LLT (4B x 48)", cost.llt_bytes],
+            ["LAWS", "WGT (48b x 3)", cost.wgt_bytes],
+            ["SAP", "DRQ (8B x 32)", cost.drq_bytes],
+            ["SAP", "WQ (1B x 48)", cost.wq_bytes],
+            ["SAP", "PT (21B x 10)", cost.pt_bytes],
+            ["Total", "", cost.total_bytes],
+        ],
+        title="Table II — hardware cost of APRES",
+    )
+    archive(results_dir, "table2", text)
+
+    assert cost.laws_bytes == 210
+    assert cost.sap_bytes == 514
+    assert cost.total_bytes == 724  # the paper's exact figure

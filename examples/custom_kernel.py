@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Build a custom workload from scratch and see how APRES treats it.
+
+Demonstrates the workload-authoring API: define static loads with address
+generators (the paper's two load classes — high-locality and strided),
+lower the spec to a kernel, and simulate it under several configurations.
+The example kernel mixes a broadcast lookup table (every warp reads the
+same lines), a large-stride streaming array, and a store.
+"""
+
+from __future__ import annotations
+
+from repro import run  # noqa: F401  (re-exported convenience API)
+from repro.config import GPUConfig
+from repro.experiments.configs import CONFIGS
+from repro.experiments.report import format_table
+from repro.isa.address import BroadcastAddress, StridedAddress
+from repro.sm.simulator import simulate
+from repro.workloads.spec import Category, LoadSpec, StoreSpec, WorkloadSpec
+from repro.workloads.synthetic import build_kernel
+
+KB, MB, GB = 1024, 1 << 20, 1 << 30
+
+
+def my_workload() -> WorkloadSpec:
+    return WorkloadSpec(
+        name="Custom table-lookup stream",
+        abbr="CUSTOM",
+        suite="example",
+        category=Category.CACHE_SENSITIVE,
+        loads=(
+            # High-locality class: a 4 KB coefficient table shared by all
+            # warps. The first warp misses; everyone else should hit — if
+            # the scheduler keeps the lines alive.
+            LoadSpec("table", 0x100,
+                     BroadcastAddress(1 * GB, region_bytes=4 * KB), weight=2),
+            # Strided class: each warp streams its own rows, 16 KB apart —
+            # never reused, but perfectly predictable for SAP.
+            LoadSpec("rows", 0x200,
+                     StridedAddress(2 * GB, warp_stride=16 * KB, iter_stride=128,
+                                    footprint_bytes=64 * MB), weight=3),
+        ),
+        iterations=40,
+        alu_per_load=2,
+        store=StoreSpec("out", 0x300,
+                        StridedAddress(3 * GB, warp_stride=128, iter_stride=12288)),
+        description="shared lookup table + streamed row data",
+    )
+
+
+def main() -> None:
+    spec = my_workload()
+    kernel = build_kernel(spec)
+    config = GPUConfig().scaled(2)
+    print(f"Custom kernel: {len(kernel.body)} instructions/iteration, "
+          f"{kernel.iterations} iterations, {config.max_warps_per_sm} warps/SM")
+
+    results = {}
+    for name in ("base", "ccws", "laws", "apres"):
+        results[name] = simulate(kernel, config, CONFIGS[name].build)
+
+    base_cycles = results["base"].cycles
+    rows = []
+    for name, r in results.items():
+        s = r.stats
+        rows.append([
+            name, s.cycles, f"{base_cycles / s.cycles:.2f}",
+            f"{s.l1.miss_rate:.2f}", f"{s.memory.avg_demand_latency:.0f}",
+            s.l1.prefetch_issued,
+        ])
+    print(format_table(
+        ["Config", "Cycles", "Speedup", "L1 miss", "Mem latency", "Prefetches"],
+        rows,
+        title="\nCustom workload under four configurations",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Export reproduction results as JSON for external plotting pipelines.
+
+Regenerates a subset of the paper's figures at small scale and writes one
+JSON file per experiment under ``exported_results/``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.experiments.export import export_figure
+
+EXPERIMENTS = ("table2", "figure10", "figure12", "figure13")
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.2
+    apps = ["KM", "LUD", "PA"]
+    import pathlib
+
+    out = pathlib.Path("exported_results")
+    out.mkdir(exist_ok=True)
+    for name in EXPERIMENTS:
+        path = out / f"{name}.json"
+        payload = export_figure(name, path, apps=None if name == "table2" else apps,
+                                scale=scale)
+        print(f"wrote {path} ({len(json.dumps(payload))} bytes)")
+    print("\nSample (figure10):")
+    print(json.dumps(json.loads((out / "figure10.json").read_text())["data"],
+                     indent=2)[:400])
+
+
+if __name__ == "__main__":
+    main()

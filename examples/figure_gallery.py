@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Render the reproduction's key figures as standalone SVG charts.
+
+Produces ``figure_gallery/figure{10,12,13,14,15}.svg`` — dependency-free
+grouped bar charts of the same data the benchmark harness tabulates.
+
+Usage::
+
+    python examples/figure_gallery.py [SCALE]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.svg import render_figure
+
+FIGURES = ("figure10", "figure12", "figure13", "figure14", "figure15")
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.3
+    apps = ["BFS", "KM", "LUD", "SRAD", "PA", "CS", "SP"]
+    for name in FIGURES:
+        path = render_figure(name, "figure_gallery", apps=apps, scale=scale)
+        print(f"rendered {path}")
+    print("\nOpen the SVGs in any browser; hover a bar for exact values.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload under the baseline GPU and APRES.
+
+Runs the KMeans-style workload (the paper's poster child for cache
+thrashing) plus a strided workload where APRES's prefetching shines, and
+prints the headline metrics the paper's evaluation is built on.
+
+Usage::
+
+    python examples/quickstart.py [APP] [SCALE]
+
+``APP`` is a Table IV abbreviation (default LUD), ``SCALE`` multiplies the
+loop trip counts (default 0.5).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import run
+
+
+def describe(label: str, result) -> None:
+    s = result.sim.stats
+    print(f"  {label:10s} cycles={s.cycles:8d}  IPC={s.ipc:5.2f}  "
+          f"L1 miss={s.l1.miss_rate:5.1%}  "
+          f"avg mem latency={s.memory.avg_demand_latency:6.1f} cy  "
+          f"energy={result.energy.total / 1e6:7.2f} uJ")
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "LUD"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+
+    print(f"Simulating {app} (scale={scale}) on the Table III machine...")
+    base = run(app, "base", scale=scale)
+    apres = run(app, "apres", scale=scale)
+
+    print("\nResults:")
+    describe("baseline", base)
+    describe("APRES", apres)
+
+    speedup = base.cycles / apres.cycles
+    l1 = apres.sim.stats.l1
+    print(f"\nAPRES speedup over baseline: {speedup:.2f}x")
+    print(f"Prefetches issued: {l1.prefetch_issued}  "
+          f"useful: {l1.prefetch_useful}  "
+          f"demand-merged: {l1.prefetch_demand_merged}  "
+          f"early-evicted: {l1.prefetch_early_evicted}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Compare every scheduler/prefetcher combination on chosen workloads.
+
+The Figure 3 + Figure 10 experiment in miniature: run each named
+configuration and print speedups over the LRR baseline, plus the cache
+behaviour that explains them.
+
+Usage::
+
+    python examples/scheduler_shootout.py [APP ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import run
+from repro.experiments.report import format_table
+
+CONFIGS = [
+    "base", "gto", "twolevel", "pa", "mascar",
+    "ccws", "laws", "ccws+str", "laws+str", "apres",
+]
+
+
+def shootout(app: str, scale: float = 0.5) -> None:
+    base = run(app, "base", scale=scale)
+    rows = []
+    for config in CONFIGS:
+        r = run(app, config, scale=scale)
+        l1 = r.sim.stats.l1
+        rows.append([
+            config,
+            f"{base.cycles / r.cycles:.2f}",
+            f"{l1.miss_rate:.2f}",
+            f"{l1.hit_after_hit_ratio:.2f}",
+            l1.prefetch_issued,
+            f"{l1.early_eviction_ratio:.2f}",
+        ])
+    print(format_table(
+        ["Config", "Speedup", "MissRate", "Hit-after-hit", "Prefetches", "EarlyEvict"],
+        rows,
+        title=f"\n{app}: scheduler/prefetcher shootout",
+    ))
+
+
+def main() -> None:
+    apps = sys.argv[1:] or ["KM", "LUD", "PA"]
+    for app in apps:
+        shootout(app)
+
+
+if __name__ == "__main__":
+    main()

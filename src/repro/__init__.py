@@ -1,0 +1,63 @@
+"""APRES reproduction: adaptive prefetching and scheduling on GPUs.
+
+Reimplementation of Oh et al., *APRES: Improving Cache Efficiency by
+Exploiting Load Characteristics on GPUs* (ISCA 2016): a cycle-level GPU
+SM simulator, the LAWS scheduler and SAP prefetcher, the baseline
+schedulers/prefetchers the paper compares against, the 15-benchmark
+synthetic workload suite, and an experiment harness regenerating every
+table and figure of the evaluation.
+
+Quick start::
+
+    from repro import run, speedup
+    result = run("BFS", "apres", scale=0.3)
+    print(result.ipc, speedup("BFS", "apres", scale=0.3))
+"""
+
+from repro.config import APRESConfig, CacheConfig, DRAMConfig, GPUConfig
+from repro.core import APRESPair, LAWSScheduler, SAPPrefetcher, build_apres, hardware_cost
+from repro.errors import ConfigError, ReproError, SimulationError, WorkloadError
+from repro.experiments import figures
+from repro.experiments.configs import CONFIGS, experiment_gpu_config
+from repro.experiments.runner import RunResult, run, speedup
+from repro.isa import KernelSpec
+from repro.sm import GPUSimulator, SimulationResult, simulate
+from repro.trace import TraceRecorder, load_trace, replay_trace, save_trace
+from repro.workloads import SUITE, WorkloadSpec, build_kernel, workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APRESConfig",
+    "CacheConfig",
+    "DRAMConfig",
+    "GPUConfig",
+    "APRESPair",
+    "LAWSScheduler",
+    "SAPPrefetcher",
+    "build_apres",
+    "hardware_cost",
+    "ConfigError",
+    "ReproError",
+    "SimulationError",
+    "WorkloadError",
+    "figures",
+    "CONFIGS",
+    "experiment_gpu_config",
+    "RunResult",
+    "run",
+    "speedup",
+    "KernelSpec",
+    "GPUSimulator",
+    "SimulationResult",
+    "simulate",
+    "TraceRecorder",
+    "load_trace",
+    "replay_trace",
+    "save_trace",
+    "SUITE",
+    "WorkloadSpec",
+    "build_kernel",
+    "workload",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Per-static-load characterisation (reproduces Table I)."""
+
+from repro.characterize.loads import LoadProfiler, LoadRow
+
+__all__ = ["LoadProfiler", "LoadRow"]

@@ -1,0 +1,108 @@
+"""Per-load characterisation: the methodology behind Table I.
+
+For every static load the profiler accumulates, over coalesced line
+requests: the share of total memory references (%Load), the ratio of
+unique lines to references (#L/#R — the idealised miss rate with infinite
+cache), the actual L1 miss rate, and the dominant inter-warp stride with
+its share of detected strides. Strides follow Section III-B's definition:
+address delta divided by warp-ID delta for consecutive executions of the
+same static load.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.mem.request import LoadAccess
+
+
+@dataclass
+class _PCRecord:
+    refs: int = 0
+    misses: int = 0
+    executions: int = 0
+    unique_lines: set[int] = field(default_factory=set)
+    strides: Counter = field(default_factory=Counter)
+    #: last (warp, primary address) per SM, for stride pairing.
+    last: dict[int, tuple[int, int]] = field(default_factory=dict)
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class LoadRow:
+    """One row of the Table I reproduction."""
+
+    pc: int
+    label: str
+    pct_load: float
+    lines_per_ref: float
+    miss_rate: float
+    top_stride: Optional[int]
+    pct_stride: float
+    executions: int
+
+    def formatted(self) -> str:
+        stride = "-" if self.top_stride is None else str(self.top_stride)
+        return (
+            f"0x{self.pc:X}\t{self.pct_load:6.1%}\t{self.lines_per_ref:5.2f}\t"
+            f"{self.miss_rate:5.2f}\t{stride:>10}\t{self.pct_stride:6.1%}"
+        )
+
+
+class LoadProfiler:
+    """Attachable load observer accumulating Table I metrics."""
+
+    def __init__(self) -> None:
+        self._records: dict[int, _PCRecord] = {}
+        self._total_refs = 0
+
+    def observe(self, access: LoadAccess, line_hits: list[bool]) -> None:
+        """Pipeline hook: one executed load with its per-line outcomes."""
+        rec = self._records.setdefault(access.pc, _PCRecord())
+        rec.executions += 1
+        rec.refs += len(access.line_addrs)
+        rec.misses += sum(1 for hit in line_hits if not hit)
+        rec.unique_lines.update(access.line_addrs)
+        self._total_refs += len(access.line_addrs)
+
+        prev = rec.last.get(access.sm_id)
+        if prev is not None:
+            stride = self._stride(prev, (access.warp_id, access.primary_addr))
+            if stride is not None:
+                rec.strides[stride] += 1
+        rec.last[access.sm_id] = (access.warp_id, access.primary_addr)
+
+    @staticmethod
+    def _stride(prev: tuple[int, int], cur: tuple[int, int]) -> Optional[int]:
+        warp_delta = cur[0] - prev[0]
+        addr_delta = cur[1] - prev[1]
+        if warp_delta == 0:
+            return addr_delta
+        if addr_delta % warp_delta:
+            return None
+        return addr_delta // warp_delta
+
+    def rows(self, top: Optional[int] = None) -> list[LoadRow]:
+        """Characterisation rows sorted by reference share (Table I order)."""
+        out = []
+        for pc, rec in self._records.items():
+            top_stride, stride_count = None, 0
+            if rec.strides:
+                top_stride, stride_count = rec.strides.most_common(1)[0]
+            total_strides = sum(rec.strides.values())
+            out.append(
+                LoadRow(
+                    pc=pc,
+                    label=rec.label,
+                    pct_load=rec.refs / self._total_refs if self._total_refs else 0.0,
+                    lines_per_ref=len(rec.unique_lines) / rec.refs if rec.refs else 0.0,
+                    miss_rate=rec.misses / rec.refs if rec.refs else 0.0,
+                    top_stride=top_stride,
+                    pct_stride=stride_count / total_strides if total_strides else 0.0,
+                    executions=rec.executions,
+                )
+            )
+        out.sort(key=lambda r: -r.pct_load)
+        return out[:top] if top is not None else out

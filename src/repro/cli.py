@@ -1,0 +1,231 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands::
+
+    list                                 workloads and configurations
+    run APP CONFIG [--scale S]           simulate one point, print metrics
+    compare APP [CONFIG ...]             speedups over baseline for one app
+    characterize APP [--scale S]         Table I rows for one workload
+    table {1,2} [--scale S]              regenerate a paper table
+    figure {2,3,4,10,11,12,13,14,15}     regenerate a paper figure's data
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments import figures
+from repro.experiments.configs import CONFIGS
+from repro.experiments.report import format_table
+from repro.experiments.runner import run
+from repro.workloads.suite import SUITE
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = [
+        [w.abbr, w.name, w.suite, w.category.value, len(w.loads), w.iterations]
+        for w in SUITE.values()
+    ]
+    print(format_table(
+        ["Abbr", "Name", "Suite", "Category", "Loads", "Iters"], rows,
+        title="Workloads (Table IV)",
+    ))
+    print()
+    print("Configurations: " + ", ".join(sorted(CONFIGS)))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run(args.app, args.config, scale=args.scale)
+    s = result.sim.stats
+    rows = [
+        ["cycles", s.cycles],
+        ["IPC", f"{s.ipc:.3f}"],
+        ["L1 accesses", s.l1.accesses],
+        ["L1 miss rate", f"{s.l1.miss_rate:.3f}"],
+        ["cold miss ratio", f"{s.l1.cold_miss_ratio:.3f}"],
+        ["capacity+conflict ratio", f"{s.l1.capacity_conflict_ratio:.3f}"],
+        ["hit-after-hit ratio", f"{s.l1.hit_after_hit_ratio:.3f}"],
+        ["avg memory latency", f"{s.memory.avg_demand_latency:.1f}"],
+        ["traffic (bytes)", s.memory.total_traffic_bytes],
+        ["prefetches issued", s.l1.prefetch_issued],
+        ["prefetch early-eviction ratio", f"{s.l1.early_eviction_ratio:.3f}"],
+        ["dynamic energy (pJ)", f"{result.energy.total:.0f}"],
+    ]
+    print(format_table(["Metric", "Value"], rows,
+                       title=f"{args.app} under {args.config} (scale={args.scale})"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    configs = args.configs or ["ccws", "laws", "ccws+str", "laws+str", "apres"]
+    base = run(args.app, "base", scale=args.scale)
+    rows = []
+    for config in configs:
+        r = run(args.app, config, scale=args.scale)
+        rows.append([
+            config, f"{base.cycles / r.cycles:.3f}",
+            f"{r.sim.stats.l1.miss_rate:.3f}",
+            r.sim.stats.l1.prefetch_issued,
+        ])
+    print(format_table(["Config", "Speedup", "L1 miss", "Prefetches"], rows,
+                       title=f"{args.app}: speedup over baseline"))
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    data = figures.table1(apps=[args.app], scale=args.scale)
+    rows = []
+    for r in data[args.app]:
+        stride = "-" if r.top_stride is None else r.top_stride
+        rows.append([f"0x{r.pc:X}", f"{r.pct_load:.1%}", f"{r.lines_per_ref:.2f}",
+                     f"{r.miss_rate:.2f}", stride, f"{r.pct_stride:.1%}"])
+    print(format_table(["PC", "%Load", "#L/#R", "MissRate", "Stride", "%Stride"],
+                       rows, title=f"{args.app}: per-load characterisation"))
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    if args.number == 1:
+        return _cmd_characterize_all(args)
+    cost = figures.table2()
+    rows = [
+        ["LAWS: LLT", cost.llt_bytes],
+        ["LAWS: WGT", cost.wgt_bytes],
+        ["SAP: DRQ", cost.drq_bytes],
+        ["SAP: WQ", cost.wq_bytes],
+        ["SAP: PT", cost.pt_bytes],
+        ["Total", cost.total_bytes],
+    ]
+    print(format_table(["Structure", "Bytes"], rows, title="Table II"))
+    return 0
+
+
+def _cmd_characterize_all(args: argparse.Namespace) -> int:
+    data = figures.table1(scale=args.scale)
+    rows = []
+    for app, load_rows in data.items():
+        for r in load_rows:
+            stride = "-" if r.top_stride is None else r.top_stride
+            rows.append([app, f"0x{r.pc:X}", f"{r.pct_load:.1%}",
+                         f"{r.lines_per_ref:.2f}", f"{r.miss_rate:.2f}",
+                         stride, f"{r.pct_stride:.1%}"])
+    print(format_table(
+        ["App", "PC", "%Load", "#L/#R", "MissRate", "Stride", "%Stride"],
+        rows, title="Table I"))
+    return 0
+
+
+_FIGURES = {
+    2: lambda scale, apps: _print_figure2(scale, apps),
+    3: lambda scale, apps: _print_grid(figures.figure3(apps, scale), "Figure 3"),
+    4: lambda scale, apps: _print_grid(figures.figure4(apps, scale), "Figure 4"),
+    10: lambda scale, apps: _print_grid(figures.figure10(apps, scale), "Figure 10"),
+    11: lambda scale, apps: _print_figure11(scale, apps),
+    12: lambda scale, apps: _print_grid(figures.figure12(apps, scale), "Figure 12"),
+    13: lambda scale, apps: _print_grid(figures.figure13(apps, scale), "Figure 13"),
+    14: lambda scale, apps: _print_grid(figures.figure14(apps, scale), "Figure 14"),
+    15: lambda scale, apps: _print_grid(figures.figure15(apps, scale), "Figure 15"),
+}
+
+
+def _print_grid(data: dict, title: str) -> None:
+    apps = list(next(iter(data.values())))
+    rows = [[config] + [f"{data[config][a]:.3f}" for a in apps] for config in data]
+    print(format_table(["Config"] + apps, rows, title=title))
+
+
+def _print_figure2(scale: float, apps: Optional[Sequence[str]]) -> None:
+    data = figures.figure2(apps, scale)
+    rows = []
+    for app, variants in data.items():
+        for label in ("B", "C"):
+            r = variants[label]
+            rows.append([app, label, f"{r.cold_ratio:.2f}",
+                         f"{r.capacity_conflict_ratio:.2f}", f"{r.speedup:.2f}"])
+    print(format_table(["App", "L1", "Cold", "Cap+Conf", "Speedup"], rows,
+                       title="Figure 2"))
+
+
+def _print_figure11(scale: float, apps: Optional[Sequence[str]]) -> None:
+    data = figures.figure11(apps, scale)
+    rows = []
+    for app, per_config in data.items():
+        for label, r in per_config.items():
+            rows.append([app, label, f"{r.hit_after_hit:.2f}", f"{r.hit_after_miss:.2f}",
+                         f"{r.cold:.2f}", f"{r.capacity_conflict:.2f}"])
+    print(format_table(
+        ["App", "Cfg", "HaH", "HaM", "Cold", "Cap+Conf"], rows, title="Figure 11"))
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    apps = args.apps or None
+    _FIGURES[args.number](args.scale, apps)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.experiments.validate import check_claims, format_report
+
+    results = check_claims(scale=args.scale, apps=args.apps or None)
+    print(format_report(results))
+    return 0 if all(r.passed for r in results) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="APRES (ISCA 2016) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and configurations")
+
+    p_run = sub.add_parser("run", help="simulate one workload/configuration")
+    p_run.add_argument("app", choices=sorted(SUITE))
+    p_run.add_argument("config", choices=sorted(CONFIGS))
+    p_run.add_argument("--scale", type=float, default=0.5)
+
+    p_cmp = sub.add_parser("compare", help="speedups over baseline for one app")
+    p_cmp.add_argument("app", choices=sorted(SUITE))
+    p_cmp.add_argument("configs", nargs="*", metavar="CONFIG")
+    p_cmp.add_argument("--scale", type=float, default=0.5)
+
+    p_char = sub.add_parser("characterize", help="Table I rows for one workload")
+    p_char.add_argument("app", choices=sorted(SUITE))
+    p_char.add_argument("--scale", type=float, default=0.5)
+
+    p_table = sub.add_parser("table", help="regenerate a paper table")
+    p_table.add_argument("number", type=int, choices=(1, 2))
+    p_table.add_argument("--scale", type=float, default=0.5)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure's data")
+    p_fig.add_argument("number", type=int, choices=sorted(_FIGURES))
+    p_fig.add_argument("--scale", type=float, default=0.5)
+    p_fig.add_argument("--apps", nargs="*", metavar="APP")
+
+    p_val = sub.add_parser("validate", help="check the reproduction's shape claims")
+    p_val.add_argument("--scale", type=float, default=0.5)
+    p_val.add_argument("--apps", nargs="*", metavar="APP")
+    return parser
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "characterize": _cmd_characterize,
+    "table": _cmd_table,
+    "figure": _cmd_figure,
+    "validate": _cmd_validate,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

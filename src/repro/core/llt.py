@@ -1,0 +1,35 @@
+"""Last Load Table (Section IV-A).
+
+One entry per warp holding the PC of the last long-latency (global) load
+that warp issued. Warps sharing the same LLPC executed the same load last,
+so — since warps run the same kernel code — they are expected to execute
+the *next* load at roughly the same point soon. That is the grouping signal
+LAWS uses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class LastLoadTable:
+    """Warp-indexed table of last-load PCs."""
+
+    def __init__(self, num_warps: int):
+        if num_warps < 1:
+            raise ValueError("LLT needs at least one warp")
+        self._llpc: list[Optional[int]] = [None] * num_warps
+
+    def __len__(self) -> int:
+        return len(self._llpc)
+
+    def get(self, warp_id: int) -> Optional[int]:
+        """LLPC of a warp; ``None`` until the warp issues its first load."""
+        return self._llpc[warp_id]
+
+    def update(self, warp_id: int, pc: int) -> None:
+        self._llpc[warp_id] = pc
+
+    def warps_with_llpc(self, llpc: Optional[int]) -> list[int]:
+        """All warps whose LLPC matches (the group-formation search)."""
+        return [w for w, pc in enumerate(self._llpc) if pc == llpc]

@@ -1,0 +1,17 @@
+"""Exception hierarchy for the APRES reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigError(ReproError):
+    """Invalid simulation configuration."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent or unrecoverable state."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload specification."""

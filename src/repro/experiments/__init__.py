@@ -1,0 +1,18 @@
+"""Experiment harness: named configurations, memoised runs, per-figure data."""
+
+from repro.experiments.configs import CONFIGS, EngineSpec, experiment_gpu_config
+from repro.experiments.runner import RunResult, clear_cache, run, speedup
+from repro.experiments import figures
+from repro.experiments.report import format_table
+
+__all__ = [
+    "CONFIGS",
+    "EngineSpec",
+    "experiment_gpu_config",
+    "RunResult",
+    "clear_cache",
+    "run",
+    "speedup",
+    "figures",
+    "format_table",
+]

@@ -1,0 +1,140 @@
+"""Ablation studies over APRES's design choices.
+
+DESIGN.md calls out the parameters that shape APRES's behaviour; each
+function here sweeps one of them while holding everything else fixed:
+
+* :func:`sap_components` — LAWS alone, +group prefetch, +self prefetch.
+* :func:`pt_entry_sweep` — SAP Prefetch Table capacity (paper picks 10).
+* :func:`wgt_entry_sweep` — Warp Group Table capacity (paper picks 3).
+* :func:`self_degree_sweep` — self-prefetch distance.
+* :func:`l1_size_sweep` — cache-capacity sensitivity (Figure 2's axis).
+* :func:`bandwidth_sweep` — DRAM service-rate sensitivity.
+
+Results are plain dictionaries; the ablation benchmarks format them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from repro.config import APRESConfig, GPUConfig
+from repro.core.laws import LAWSScheduler
+from repro.core.sap import SAPPrefetcher
+from repro.experiments.configs import experiment_gpu_config
+from repro.experiments.runner import run
+from repro.sm.simulator import simulate
+from repro.workloads.suite import workload
+from repro.workloads.synthetic import build_kernel
+
+#: Apps whose behaviour the ablations probe: one thrashing, one strided
+#: with reuse, one broadcast-heavy, one compute streaming.
+DEFAULT_APPS = ("KM", "LUD", "PA", "CS")
+
+
+def _simulate_apres(
+    abbr: str,
+    scale: float,
+    gpu_config: Optional[GPUConfig] = None,
+    apres_config: Optional[APRESConfig] = None,
+    self_degree: int = 2,
+    group_prefetch: bool = True,
+) -> float:
+    """Cycles for one APRES variant (not memoised: variants are unique)."""
+    cfg = gpu_config or experiment_gpu_config()
+    kernel = build_kernel(workload(abbr), scale)
+
+    def engine():
+        laws = LAWSScheduler(apres_config)
+        sap = SAPPrefetcher(laws, apres_config, self_degree=self_degree)
+        if not group_prefetch:
+            sap._pt_capacity = 0  # group path can never confirm
+        return laws, sap
+
+    return simulate(kernel, cfg, engine).cycles
+
+
+def sap_components(apps: Sequence[str] = DEFAULT_APPS, scale: float = 0.5
+                   ) -> dict[str, dict[str, float]]:
+    """Speedup of each APRES component stack over baseline."""
+    out: dict[str, dict[str, float]] = {}
+    for abbr in apps:
+        base = run(abbr, "base", scale).cycles
+        laws_only = run(abbr, "laws", scale).cycles
+        group_only = _simulate_apres(abbr, scale, self_degree=0)
+        full = run(abbr, "apres", scale).cycles
+        out[abbr] = {
+            "laws": base / laws_only,
+            "laws+group": base / group_only,
+            "laws+group+self": base / full,
+        }
+    return out
+
+
+def pt_entry_sweep(entries: Sequence[int] = (1, 2, 5, 10, 20),
+                   apps: Sequence[str] = DEFAULT_APPS, scale: float = 0.5
+                   ) -> dict[int, dict[str, float]]:
+    """Speedup over baseline as the Prefetch Table grows."""
+    out: dict[int, dict[str, float]] = {}
+    for n in entries:
+        cfg = APRESConfig(pt_entries=n)
+        out[n] = {
+            abbr: run(abbr, "base", scale).cycles
+            / _simulate_apres(abbr, scale, apres_config=cfg)
+            for abbr in apps
+        }
+    return out
+
+
+def wgt_entry_sweep(entries: Sequence[int] = (1, 3, 8),
+                    apps: Sequence[str] = DEFAULT_APPS, scale: float = 0.5
+                    ) -> dict[int, dict[str, float]]:
+    """Speedup over baseline as the Warp Group Table grows."""
+    out: dict[int, dict[str, float]] = {}
+    for n in entries:
+        cfg = APRESConfig(wgt_entries=n)
+        out[n] = {
+            abbr: run(abbr, "base", scale).cycles
+            / _simulate_apres(abbr, scale, apres_config=cfg)
+            for abbr in apps
+        }
+    return out
+
+
+def self_degree_sweep(degrees: Sequence[int] = (0, 1, 2, 4),
+                      apps: Sequence[str] = DEFAULT_APPS, scale: float = 0.5
+                      ) -> dict[int, dict[str, float]]:
+    """Speedup over baseline as self-prefetch reaches further ahead."""
+    out: dict[int, dict[str, float]] = {}
+    for d in degrees:
+        out[d] = {
+            abbr: run(abbr, "base", scale).cycles
+            / _simulate_apres(abbr, scale, self_degree=d)
+            for abbr in apps
+        }
+    return out
+
+
+def l1_size_sweep(sizes_kb: Sequence[int] = (16, 32, 64, 128),
+                  apps: Sequence[str] = DEFAULT_APPS, scale: float = 0.5
+                  ) -> dict[int, dict[str, float]]:
+    """Baseline IPC sensitivity to L1 capacity."""
+    out: dict[int, dict[str, float]] = {}
+    for kb in sizes_kb:
+        cfg = experiment_gpu_config().with_l1_size(kb * 1024)
+        out[kb] = {abbr: run(abbr, "base", scale, cfg).ipc for abbr in apps}
+    return out
+
+
+def bandwidth_sweep(service_cycles: Sequence[int] = (2, 4, 8),
+                    apps: Sequence[str] = DEFAULT_APPS, scale: float = 0.5
+                    ) -> dict[int, dict[str, float]]:
+    """Baseline IPC sensitivity to DRAM service rate (full-machine cycles)."""
+    out: dict[int, dict[str, float]] = {}
+    for sc in service_cycles:
+        base = GPUConfig()
+        cfg = dataclasses.replace(
+            base, dram=dataclasses.replace(base.dram, service_cycles=sc)
+        ).scaled(2)
+        out[sc] = {abbr: run(abbr, "base", scale, cfg).ipc for abbr in apps}
+    return out

@@ -1,0 +1,74 @@
+"""Named scheduler/prefetcher configurations used across the evaluation.
+
+A configuration name like ``"ccws+str"`` denotes a scheduler and a
+prefetcher; ``"apres"`` builds the coupled LAWS+SAP pair; ``"laws"`` runs
+LAWS without any prefetching (the ablation of Figure 10); ``"base"`` is
+the paper's baseline (LRR, no prefetching).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.config import GPUConfig
+from repro.core.apres import build_apres
+from repro.core.laws import LAWSScheduler
+from repro.prefetch.base import Prefetcher
+from repro.prefetch.registry import make_prefetcher
+from repro.prefetch.none import NullPrefetcher
+from repro.sched.base import WarpScheduler
+from repro.sched.registry import make_scheduler
+
+#: SM count used by experiments; DRAM bandwidth is scaled to match per-SM
+#: pressure of the full 15-SM machine (see DESIGN.md).
+EXPERIMENT_NUM_SMS = 2
+
+
+def experiment_gpu_config(num_sms: int = EXPERIMENT_NUM_SMS) -> GPUConfig:
+    """The Table III machine, scaled for tractable pure-Python runs."""
+    return GPUConfig().scaled(num_sms)
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """How to build one SM's scheduler/prefetcher pair."""
+
+    scheduler: str
+    prefetcher: str = "none"
+
+    @property
+    def name(self) -> str:
+        if self.scheduler == "apres":
+            return "apres"
+        if self.prefetcher == "none":
+            return self.scheduler
+        return f"{self.scheduler}+{self.prefetcher}"
+
+    def build(self) -> tuple[WarpScheduler, Prefetcher]:
+        """Construct fresh per-SM engine instances."""
+        if self.scheduler == "apres":
+            pair = build_apres()
+            return pair.scheduler, pair.prefetcher
+        if self.scheduler == "laws":
+            laws = LAWSScheduler()
+            return laws, _make_prefetcher(self.prefetcher)
+        return make_scheduler(self.scheduler), _make_prefetcher(self.prefetcher)
+
+
+def _make_prefetcher(name: str) -> Prefetcher:
+    if name == "none":
+        return NullPrefetcher()
+    return make_prefetcher(name)
+
+
+def _build_registry() -> dict[str, EngineSpec]:
+    registry: dict[str, EngineSpec] = {"base": EngineSpec("lrr")}
+    for sched in ("lrr", "gto", "twolevel", "ccws", "mascar", "pa", "cawa", "laws"):
+        registry[sched] = EngineSpec(sched)
+        for pf in ("str", "sld", "mta"):
+            registry[f"{sched}+{pf}"] = EngineSpec(sched, pf)
+    registry["apres"] = EngineSpec("apres")
+    return registry
+
+
+#: Every runnable configuration, keyed by name.
+CONFIGS: dict[str, EngineSpec] = _build_registry()

@@ -1,0 +1,86 @@
+"""Memoised simulation runner.
+
+Figures 10-15 all evaluate the same handful of configurations over the
+same 15 workloads, so results are cached per
+``(workload, config, scale, L1 size, SM count)`` within the process. Every
+run is deterministic, which makes the cache safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import GPUConfig
+from repro.experiments.configs import CONFIGS, experiment_gpu_config
+from repro.sm.simulator import SimulationResult, simulate
+from repro.stats.energy import EnergyModel, EnergyReport
+from repro.workloads.suite import workload
+from repro.workloads.synthetic import build_kernel
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One simulated (workload, configuration) point with derived metrics."""
+
+    workload: str
+    config_name: str
+    sim: SimulationResult
+    energy: EnergyReport
+
+    @property
+    def ipc(self) -> float:
+        return self.sim.ipc
+
+    @property
+    def cycles(self) -> int:
+        return self.sim.cycles
+
+
+_CACHE: dict[tuple, RunResult] = {}
+
+
+def clear_cache() -> None:
+    """Drop memoised results (tests use this to force fresh runs)."""
+    _CACHE.clear()
+
+
+def run(
+    workload_abbr: str,
+    config_name: str,
+    scale: float = 1.0,
+    gpu_config: Optional[GPUConfig] = None,
+) -> RunResult:
+    """Simulate one workload under one named configuration (memoised)."""
+    if config_name not in CONFIGS:
+        known = ", ".join(sorted(CONFIGS))
+        raise ValueError(f"unknown config {config_name!r}; known: {known}")
+    cfg = gpu_config or experiment_gpu_config()
+    key = (workload_abbr, config_name, scale, cfg)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    spec = workload(workload_abbr)
+    kernel = build_kernel(spec, scale)
+    engine = CONFIGS[config_name]
+    sim = simulate(kernel, cfg, engine.build)
+    energy = EnergyModel().report(
+        sim.stats, apres_events=sim.engine_events, num_sms=cfg.num_sms
+    )
+    result = RunResult(workload_abbr, config_name, sim, energy)
+    _CACHE[key] = result
+    return result
+
+
+def speedup(
+    workload_abbr: str,
+    config_name: str,
+    baseline: str = "base",
+    scale: float = 1.0,
+    gpu_config: Optional[GPUConfig] = None,
+) -> float:
+    """IPC of ``config_name`` over ``baseline`` for one workload."""
+    test = run(workload_abbr, config_name, scale, gpu_config)
+    base = run(workload_abbr, baseline, scale, gpu_config)
+    return test.ipc / base.ipc if base.ipc else 0.0

@@ -1,0 +1,30 @@
+"""Minimal SIMT instruction set used by the simulator.
+
+A kernel is the same looped program executed by every warp (SIMT); loads
+compute per-lane byte addresses from ``(global warp id, iteration, lane)``
+through pluggable address generators.
+"""
+
+from repro.isa.address import (
+    AddressGenerator,
+    BroadcastAddress,
+    IndirectAddress,
+    IrregularAddress,
+    StridedAddress,
+)
+from repro.isa.instructions import Instr, Op, alu, load, store
+from repro.isa.program import KernelSpec
+
+__all__ = [
+    "AddressGenerator",
+    "BroadcastAddress",
+    "IndirectAddress",
+    "IrregularAddress",
+    "StridedAddress",
+    "Instr",
+    "KernelSpec",
+    "Op",
+    "alu",
+    "load",
+    "store",
+]

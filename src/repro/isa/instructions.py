@@ -1,0 +1,65 @@
+"""Instruction representation.
+
+The simulator models three instruction classes: arithmetic (``ALU``),
+global-memory loads (``LOAD``) and global-memory stores (``STORE``).
+Each instruction carries the static PC the paper's tables key on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.isa.address import AddressGenerator
+
+
+class Op(enum.Enum):
+    """Instruction class."""
+
+    ALU = "alu"
+    LOAD = "load"
+    STORE = "store"
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One static instruction of a warp program.
+
+    Attributes:
+        op: Instruction class.
+        pc: Static program counter (bytes); identifies the load in every
+            APRES/prefetcher table.
+        addr_gen: Address generator for memory instructions, ``None`` for ALU.
+        label: Optional human-readable name used in characterisation output.
+    """
+
+    op: Op
+    pc: int
+    addr_gen: Optional[AddressGenerator] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op is Op.ALU and self.addr_gen is not None:
+            raise ValueError("ALU instructions take no address generator")
+        if self.op in (Op.LOAD, Op.STORE) and self.addr_gen is None:
+            raise ValueError(f"{self.op.value} instruction at pc={self.pc:#x} needs an address generator")
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op is not Op.ALU
+
+
+def alu(pc: int) -> Instr:
+    """Build an arithmetic instruction."""
+    return Instr(Op.ALU, pc)
+
+
+def load(pc: int, addr_gen: AddressGenerator, label: str = "") -> Instr:
+    """Build a global-memory load."""
+    return Instr(Op.LOAD, pc, addr_gen, label)
+
+
+def store(pc: int, addr_gen: AddressGenerator, label: str = "") -> Instr:
+    """Build a global-memory store."""
+    return Instr(Op.STORE, pc, addr_gen, label)

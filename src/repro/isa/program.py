@@ -1,0 +1,81 @@
+"""Warp programs and kernel specifications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.isa.instructions import Instr, Op
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """A SIMT kernel: every warp runs ``body`` for ``iterations`` loops.
+
+    Attributes:
+        name: Kernel identifier (used in reports).
+        body: Static instruction sequence of one loop iteration.
+        iterations: Loop trip count (same for every warp).
+        waves: Thread blocks executed per warp slot. When a warp finishes,
+            its slot is refilled with the next wave's warp, modelling the
+            block scheduler's occupancy refill — without it, greedy
+            schedulers pay an artificial serial tail.
+        fresh_waves: True when every wave processes fresh data (streaming
+            kernels: refilled warps get new global IDs); False when waves
+            re-walk the same data (iterative kernels such as KMeans, whose
+            outer loop re-reads the same points).
+    """
+
+    name: str
+    body: tuple[Instr, ...]
+    iterations: int
+    waves: int
+    fresh_waves: bool
+
+    def __init__(
+        self,
+        name: str,
+        body: list[Instr] | tuple[Instr, ...],
+        iterations: int,
+        waves: int = 1,
+        fresh_waves: bool = True,
+    ):
+        if iterations < 1:
+            raise WorkloadError(f"kernel {name!r}: iterations must be >= 1")
+        if waves < 1:
+            raise WorkloadError(f"kernel {name!r}: waves must be >= 1")
+        if not body:
+            raise WorkloadError(f"kernel {name!r}: empty body")
+        # The same PC may appear several times: that models an inner loop
+        # re-executing one static load multiple times per outer iteration.
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "body", tuple(body))
+        object.__setattr__(self, "iterations", iterations)
+        object.__setattr__(self, "waves", waves)
+        object.__setattr__(self, "fresh_waves", fresh_waves)
+
+    @property
+    def loads(self) -> tuple[Instr, ...]:
+        """Static load instructions (unique PCs), in program order."""
+        seen: set[int] = set()
+        out = []
+        for i in self.body:
+            if i.op is Op.LOAD and i.pc not in seen:
+                seen.add(i.pc)
+                out.append(i)
+        return tuple(out)
+
+    @property
+    def instructions_per_warp(self) -> int:
+        """Dynamic warp-instruction count for one warp slot (all waves)."""
+        return len(self.body) * self.iterations * self.waves
+
+    def scaled(self, factor: float) -> "KernelSpec":
+        """Return a copy with the trip count scaled by ``factor`` (min 1)."""
+        return KernelSpec(
+            self.name,
+            self.body,
+            max(1, round(self.iterations * factor)),
+            self.waves,
+            self.fresh_waves,
+        )

@@ -1,0 +1,25 @@
+"""Memory hierarchy: coalescer, L1 with MSHRs, shared L2, partitioned DRAM."""
+
+from repro.mem.cache import AccessOutcome, L1Cache
+from repro.mem.coalescer import coalesce
+from repro.mem.dram import DRAMModel
+from repro.mem.l2 import L2Cache
+from repro.mem.mshr import MSHRFile
+from repro.mem.request import LoadAccess
+from repro.mem.subsystem import MemorySubsystem
+from repro.mem.tags import LineMeta, TagArray
+from repro.mem.victim import VictimTagArray
+
+__all__ = [
+    "AccessOutcome",
+    "L1Cache",
+    "coalesce",
+    "DRAMModel",
+    "L2Cache",
+    "MSHRFile",
+    "LoadAccess",
+    "MemorySubsystem",
+    "LineMeta",
+    "TagArray",
+    "VictimTagArray",
+]

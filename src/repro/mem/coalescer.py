@@ -1,0 +1,24 @@
+"""Memory request coalescing (Section II of the paper).
+
+Threads of a warp that touch the same 128-byte segment are merged into one
+memory transaction; a fully divergent load produces up to 32 transactions.
+"""
+
+from __future__ import annotations
+
+
+def coalesce(addresses: list[int], line_size: int) -> list[int]:
+    """Merge per-lane byte addresses into unique line addresses.
+
+    Returns line-aligned byte addresses, ordered so the segment of the
+    lowest lane comes first (SAP's demand-request queue keeps only the
+    lowest thread's request).
+    """
+    seen: set[int] = set()
+    lines: list[int] = []
+    for addr in addresses:
+        line = addr - (addr % line_size)
+        if line not in seen:
+            seen.add(line)
+            lines.append(line)
+    return lines

@@ -1,0 +1,85 @@
+"""Wiring of per-SM L1s to the shared L2 and DRAM, plus the event queue.
+
+The subsystem owns simulation-wide time-ordered events (line fills, warp
+wake-ups). SM pipelines advance cycle by cycle and drain due events at the
+start of each cycle.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from repro.config import GPUConfig
+from repro.mem.cache import L1Cache
+from repro.mem.dram import DRAMModel
+from repro.mem.l2 import L2Cache
+from repro.stats.counters import SimStats
+
+
+class EventQueue:
+    """Min-heap of ``(cycle, seq, callback)`` with FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Callable[[int], None]]] = []
+        self._seq = itertools.count()
+
+    def schedule(self, cycle: int, callback: Callable[[int], None]) -> None:
+        heapq.heappush(self._heap, (cycle, next(self._seq), callback))
+
+    def run_until(self, cycle: int) -> None:
+        """Execute every event due at or before ``cycle``."""
+        while self._heap and self._heap[0][0] <= cycle:
+            when, _, callback = heapq.heappop(self._heap)
+            callback(when)
+
+    @property
+    def next_event_cycle(self) -> int | None:
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class MemorySubsystem:
+    """L1s (one per SM) + shared L2 + DRAM + the global event queue."""
+
+    def __init__(self, config: GPUConfig, stats: SimStats):
+        self._config = config
+        self._stats = stats
+        self.events = EventQueue()
+        self.dram = DRAMModel(config.dram, config.l1.line_size, stats.memory)
+        self.l2 = L2Cache(config.l2, self.dram, stats.memory)
+        self.l1s: list[L1Cache] = []
+        for sm_id in range(config.num_sms):
+            l1 = L1Cache(config.l1, stats.l1, self._make_forwarder(sm_id))
+            l1.stats_latency = self._record_latency
+            self.l1s.append(l1)
+
+    def _make_forwarder(self, sm_id: int) -> Callable[[int, int, bool], int]:
+        def forward(line_addr: int, now: int, is_prefetch: bool) -> int:
+            fill_cycle = self.l2.access(line_addr, now)
+            l1 = self.l1s[sm_id]
+            self._stats.memory.bytes_l2_to_l1 += self._config.l1.line_size
+            self.events.schedule(fill_cycle, lambda when: l1.fill(line_addr, when))
+            return fill_cycle
+
+        return forward
+
+    def _record_latency(self, issue_cycle: int, done_cycle: int) -> None:
+        self._stats.memory.demand_latency_sum += done_cycle - issue_cycle
+        self._stats.memory.demand_latency_count += 1
+
+    def record_hit_latency(self, latency: int) -> None:
+        """Fold L1 hits into the average-latency metric (Figure 13)."""
+        self._stats.memory.demand_latency_sum += latency
+        self._stats.memory.demand_latency_count += 1
+
+    def store(self, sm_id: int, line_addrs: list[int], now: int) -> None:
+        """Write-through stores: invalidate the L1 copy, consume L2 bandwidth."""
+        l1 = self.l1s[sm_id]
+        for line in line_addrs:
+            l1.store(line)
+            self.l2.write(line, now)
+            self._stats.memory.bytes_stored += self._config.l1.line_size

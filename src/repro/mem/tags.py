@@ -1,0 +1,93 @@
+"""Set-associative tag array with true-LRU replacement."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.config import CacheConfig
+
+
+@dataclass
+class LineMeta:
+    """Per-line bookkeeping attached to each resident tag."""
+
+    #: Warp (local id) whose request filled the line; -1 for prefetch fills.
+    filler_warp: int = -1
+    #: True if the line was brought in by a prefetch.
+    prefetched: bool = False
+    #: True once a demand access has touched the line after fill.
+    referenced: bool = False
+
+
+class TagArray:
+    """Tags + replacement state of one cache level.
+
+    Lines are keyed by line-aligned byte address. Each set is an
+    ``OrderedDict`` from address to :class:`LineMeta`; order encodes
+    recency (last item = most recently used).
+    """
+
+    def __init__(self, config: CacheConfig):
+        self._config = config
+        self._num_sets = config.num_sets
+        self._assoc = config.associativity
+        self._line = config.line_size
+        self._sets: list[OrderedDict[int, LineMeta]] = [
+            OrderedDict() for _ in range(self._num_sets)
+        ]
+
+    def set_index(self, line_addr: int) -> int:
+        return (line_addr // self._line) % self._num_sets
+
+    def probe(self, line_addr: int, update_lru: bool = True) -> Optional[LineMeta]:
+        """Return the line's metadata if resident, promoting it to MRU."""
+        s = self._sets[self.set_index(line_addr)]
+        meta = s.get(line_addr)
+        if meta is not None and update_lru:
+            s.move_to_end(line_addr)
+        return meta
+
+    def insert(self, line_addr: int, meta: LineMeta) -> Optional[tuple[int, LineMeta]]:
+        """Insert a line at MRU; return the evicted ``(addr, meta)`` if any.
+
+        Replacement is LRU with bounded prefetch protection: prefetched
+        lines that have not served a demand yet are skipped while they
+        occupy at most half the ways, so in-flight prefetch work is not
+        thrown away the moment demand traffic sweeps the set — but
+        prefetches can never pin a whole set either.
+        """
+        s = self._sets[self.set_index(line_addr)]
+        victim: Optional[tuple[int, LineMeta]] = None
+        if line_addr in s:
+            # Refill of a resident line: replace metadata in place.
+            s[line_addr] = meta
+            s.move_to_end(line_addr)
+            return None
+        if len(s) >= self._assoc:
+            pending = sum(1 for m in s.values() if m.prefetched and not m.referenced)
+            protect = pending <= self._assoc // 2
+            victim_addr = None
+            if protect:
+                victim_addr = next(
+                    (a for a, m in s.items() if not (m.prefetched and not m.referenced)),
+                    None,
+                )
+            if victim_addr is None:
+                victim = s.popitem(last=False)
+            else:
+                victim = (victim_addr, s.pop(victim_addr))
+        s[line_addr] = meta
+        return victim
+
+    def invalidate(self, line_addr: int) -> Optional[LineMeta]:
+        """Drop a line (write-evict stores); return its metadata if present."""
+        return self._sets[self.set_index(line_addr)].pop(line_addr, None)
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def resident_lines(self) -> Iterator[int]:
+        for s in self._sets:
+            yield from s.keys()

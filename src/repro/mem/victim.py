@@ -1,0 +1,48 @@
+"""Per-warp victim tag array, the lost-locality detector of CCWS.
+
+Rogers et al.'s Cache-Conscious Wavefront Scheduling keeps a small
+tag-only structure per warp holding addresses of lines that warp brought
+into L1 and subsequently lost. A miss that hits in the warp's victim tags
+is *lost locality*: the warp would have hit with less contention.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class VictimTagArray:
+    """Tag-only set-associative store with LRU replacement."""
+
+    def __init__(self, num_sets: int = 8, associativity: int = 8, line_size: int = 128):
+        self._num_sets = num_sets
+        self._assoc = associativity
+        self._line = line_size
+        self._sets: list[OrderedDict[int, None]] = [OrderedDict() for _ in range(num_sets)]
+
+    def _set(self, line_addr: int) -> OrderedDict[int, None]:
+        return self._sets[(line_addr // self._line) % self._num_sets]
+
+    def record_eviction(self, line_addr: int) -> None:
+        """Remember a line this warp just lost from L1."""
+        s = self._set(line_addr)
+        if line_addr in s:
+            s.move_to_end(line_addr)
+            return
+        if len(s) >= self._assoc:
+            s.popitem(last=False)
+        s[line_addr] = None
+
+    def probe(self, line_addr: int) -> bool:
+        """True if the missed line was recently evicted (lost locality).
+
+        A hit consumes the entry, mirroring CCWS's one-shot detection.
+        """
+        s = self._set(line_addr)
+        if line_addr in s:
+            del s[line_addr]
+            return True
+        return False
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,19 @@
+"""Hardware prefetchers: STR (per-PC stride) and SLD (macro-block), plus no-op."""
+
+from repro.prefetch.base import Prefetcher, PrefetchCandidate
+from repro.prefetch.mta import MTAPrefetcher
+from repro.prefetch.none import NullPrefetcher
+from repro.prefetch.registry import PREFETCHERS, make_prefetcher
+from repro.prefetch.sld import SLDPrefetcher
+from repro.prefetch.stride import STRPrefetcher
+
+__all__ = [
+    "Prefetcher",
+    "PrefetchCandidate",
+    "MTAPrefetcher",
+    "NullPrefetcher",
+    "SLDPrefetcher",
+    "STRPrefetcher",
+    "PREFETCHERS",
+    "make_prefetcher",
+]

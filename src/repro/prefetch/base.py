@@ -1,0 +1,45 @@
+"""Prefetcher interface.
+
+The pipeline shows every executed load to the prefetcher (PC, warp,
+primary byte address, per-line outcomes) and issues the returned
+candidates into the L1 as prefetch-typed fills. A candidate may name the
+warp it covers; LAWS uses that feedback to prioritise prefetch targets
+(Section IV-B), other schedulers ignore it.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mem.request import LoadAccess
+
+
+@dataclass(frozen=True)
+class PrefetchCandidate:
+    """One address the prefetcher wants brought into L1."""
+
+    addr: int
+    #: Warp whose future demand this prefetch covers, if known.
+    target_warp: Optional[int] = None
+
+
+class Prefetcher(abc.ABC):
+    """Base class; ``events`` feeds the energy model."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.events = 0
+
+    def reset(self, num_warps: int) -> None:
+        """(Re)initialise per-SM state."""
+
+    @abc.abstractmethod
+    def observe_load(self, access: LoadAccess) -> list[PrefetchCandidate]:
+        """React to an executed load; return prefetches to issue."""
+
+    def observe_line(self, line_addr: int, hit: bool, cycle: int) -> list[PrefetchCandidate]:
+        """React to one coalesced line access (macro-block schemes)."""
+        return []

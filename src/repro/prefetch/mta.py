@@ -1,0 +1,70 @@
+"""MTA: per-warp stride prefetching (the per-warp half of Lee et al.,
+MICRO '10).
+
+Unlike STR's single per-PC entry, MTA keys its table by ``(PC, warp)`` and
+follows each warp's own address stream, so it keeps firing under greedy
+schedulers where consecutive executions of a PC come from one warp. This
+is the detector SAP's self-prefetch extension borrows; exposing it as a
+standalone prefetcher lets the ablation benches separate "per-warp stream
+coverage" from APRES's group mechanism.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mem.request import LoadAccess
+from repro.prefetch.base import Prefetcher, PrefetchCandidate
+
+
+@dataclass
+class _StreamEntry:
+    last_addr: int
+    stride: Optional[int] = None
+
+
+class MTAPrefetcher(Prefetcher):
+    """(PC, warp)-indexed, confirmation-gated stride prefetcher."""
+
+    name = "mta"
+
+    def __init__(self, table_entries: int = 256, degree: int = 2):
+        super().__init__()
+        if degree < 1:
+            raise ValueError("prefetch degree must be >= 1")
+        self._capacity = table_entries
+        self._degree = degree
+        self._table: OrderedDict[tuple[int, int], _StreamEntry] = OrderedDict()
+
+    def reset(self, num_warps: int) -> None:
+        self._table.clear()
+
+    def observe_load(self, access: LoadAccess) -> list[PrefetchCandidate]:
+        self.events += 1
+        key = (access.pc, access.warp_id)
+        entry = self._table.get(key)
+        if entry is None:
+            if len(self._table) >= self._capacity:
+                self._table.popitem(last=False)
+            self._table[key] = _StreamEntry(access.primary_addr)
+            return []
+        self._table.move_to_end(key)
+        stride = access.primary_addr - entry.last_addr
+        confirmed = stride == entry.stride and stride != 0
+        entry.stride = stride
+        entry.last_addr = access.primary_addr
+        if not confirmed:
+            return []
+        return [
+            PrefetchCandidate(
+                access.primary_addr + k * stride, target_warp=access.warp_id
+            )
+            for k in range(1, self._degree + 1)
+        ]
+
+    def stride_for(self, pc: int, warp_id: int) -> Optional[int]:
+        """Currently tracked stride of a (load, warp) stream (diagnostics)."""
+        entry = self._table.get((pc, warp_id))
+        return entry.stride if entry else None

@@ -1,0 +1,15 @@
+"""No-op prefetcher (the baseline configuration)."""
+
+from __future__ import annotations
+
+from repro.mem.request import LoadAccess
+from repro.prefetch.base import Prefetcher, PrefetchCandidate
+
+
+class NullPrefetcher(Prefetcher):
+    """Issues nothing."""
+
+    name = "none"
+
+    def observe_load(self, access: LoadAccess) -> list[PrefetchCandidate]:
+        return []

@@ -1,0 +1,32 @@
+"""Name-based prefetcher construction used by the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.prefetch.base import Prefetcher
+from repro.prefetch.mta import MTAPrefetcher
+from repro.prefetch.none import NullPrefetcher
+from repro.prefetch.sld import SLDPrefetcher
+from repro.prefetch.stride import STRPrefetcher
+
+PREFETCHERS: dict[str, Callable[[], Prefetcher]] = {
+    "none": NullPrefetcher,
+    "str": STRPrefetcher,
+    "sld": SLDPrefetcher,
+    "mta": MTAPrefetcher,
+}
+
+
+def make_prefetcher(name: str) -> Prefetcher:
+    """Instantiate a prefetcher by its registry name.
+
+    SAP is constructed through :func:`repro.core.apres.build_apres`
+    because it must be paired with a LAWS scheduler.
+    """
+    try:
+        factory = PREFETCHERS[name]
+    except KeyError:
+        known = ", ".join(sorted(PREFETCHERS))
+        raise ValueError(f"unknown prefetcher {name!r}; known: {known}") from None
+    return factory()

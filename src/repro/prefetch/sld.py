@@ -1,0 +1,70 @@
+"""SLD: Spatial Locality Detection prefetching (Jog et al., ISCA '13).
+
+Cache lines are grouped into macro-blocks of four consecutive lines. When
+a second distinct line of a macro-block is touched, the remaining two lines
+are prefetched. The scheme is cheap but only covers strides below two cache
+lines (256 B with 128 B lines) — the limitation Section III-C demonstrates
+against Table I's large strides.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.mem.request import LoadAccess
+from repro.prefetch.base import Prefetcher, PrefetchCandidate
+
+
+class SLDPrefetcher(Prefetcher):
+    """Macro-block (4-line) spatial prefetcher."""
+
+    name = "sld"
+
+    LINES_PER_BLOCK = 4
+
+    def __init__(self, line_size: int = 128, table_entries: int = 64):
+        super().__init__()
+        self._line = line_size
+        self._block = line_size * self.LINES_PER_BLOCK
+        self._capacity = table_entries
+        #: macro-block base -> bitmap of touched lines.
+        self._blocks: OrderedDict[int, int] = OrderedDict()
+        #: blocks whose prefetch already fired (avoid re-issuing).
+        self._fired: OrderedDict[int, None] = OrderedDict()
+
+    def reset(self, num_warps: int) -> None:
+        self._blocks.clear()
+        self._fired.clear()
+
+    def observe_load(self, access: LoadAccess) -> list[PrefetchCandidate]:
+        out: list[PrefetchCandidate] = []
+        for line in access.line_addrs:
+            out.extend(self.observe_line(line, hit=False, cycle=access.cycle))
+        return out
+
+    def observe_line(self, line_addr: int, hit: bool, cycle: int) -> list[PrefetchCandidate]:
+        self.events += 1
+        base = line_addr - (line_addr % self._block)
+        slot = (line_addr - base) // self._line
+        bitmap = self._blocks.get(base, 0) | (1 << slot)
+        self._touch(base, bitmap)
+        if bin(bitmap).count("1") < 2 or base in self._fired:
+            return []
+        self._fire(base)
+        return [
+            PrefetchCandidate(base + i * self._line)
+            for i in range(self.LINES_PER_BLOCK)
+            if not bitmap & (1 << i)
+        ]
+
+    def _touch(self, base: int, bitmap: int) -> None:
+        if base in self._blocks:
+            self._blocks.move_to_end(base)
+        elif len(self._blocks) >= self._capacity:
+            self._blocks.popitem(last=False)
+        self._blocks[base] = bitmap
+
+    def _fire(self, base: int) -> None:
+        if len(self._fired) >= self._capacity:
+            self._fired.popitem(last=False)
+        self._fired[base] = None

@@ -1,0 +1,73 @@
+"""STR: per-PC stride prefetching (Section III-C's STR baseline).
+
+One table entry per static load PC holds the most recent address and the
+last observed delta. When a newly computed delta confirms the stored one,
+the next ``degree`` addresses along the stride are prefetched; otherwise
+the entry adapts and nothing is issued (the adaptive gate that keeps
+Figure 14's traffic near baseline). Because warp schedulers interleave
+warps over the same static load, the per-PC delta is normally the
+*inter-warp* stride — which can be arbitrarily large, unlike the 4-line
+macro-blocks SLD covers (Section III-C). Under greedy schedulers the
+consecutive-execution stream is less regular and STR fires less — the
+behaviour the paper's Figure 3 reflects.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mem.request import LoadAccess
+from repro.prefetch.base import Prefetcher, PrefetchCandidate
+
+
+@dataclass
+class _StrideEntry:
+    last_addr: int
+    stride: Optional[int] = None
+
+
+class STRPrefetcher(Prefetcher):
+    """PC-indexed, confirmation-gated stride prefetcher."""
+
+    name = "str"
+
+    def __init__(self, table_entries: int = 16, degree: int = 2):
+        super().__init__()
+        if degree < 1:
+            raise ValueError("prefetch degree must be >= 1")
+        self._capacity = table_entries
+        self._degree = degree
+        self._table: OrderedDict[int, _StrideEntry] = OrderedDict()
+
+    def reset(self, num_warps: int) -> None:
+        self._table.clear()
+
+    def observe_load(self, access: LoadAccess) -> list[PrefetchCandidate]:
+        self.events += 1
+        entry = self._table.get(access.pc)
+        if entry is None:
+            self._insert(access.pc, _StrideEntry(access.primary_addr))
+            return []
+        self._table.move_to_end(access.pc)
+        new_stride = access.primary_addr - entry.last_addr
+        confirmed = new_stride == entry.stride and new_stride != 0
+        entry.stride = new_stride
+        entry.last_addr = access.primary_addr
+        if not confirmed:
+            return []
+        return [
+            PrefetchCandidate(access.primary_addr + k * new_stride)
+            for k in range(1, self._degree + 1)
+        ]
+
+    def _insert(self, pc: int, entry: _StrideEntry) -> None:
+        if len(self._table) >= self._capacity:
+            self._table.popitem(last=False)
+        self._table[pc] = entry
+
+    def stride_for(self, pc: int) -> Optional[int]:
+        """Currently tracked stride of a static load (diagnostics/tests)."""
+        entry = self._table.get(pc)
+        return entry.stride if entry else None

@@ -1,0 +1,49 @@
+"""CAWA-style criticality-aware warp scheduling (Lee et al., ISCA '15).
+
+Kernel time is bounded by the slowest (critical) warp. CAWA predicts
+criticality from lag — how far a warp's retired-instruction count trails
+the leader's — and gives critical warps issue priority so the tail
+shrinks. This is the greedy-oldest family's opposite: instead of running
+leaders further ahead, it drags stragglers forward. Included as a
+related-work baseline (Section VI cites CAWA/CAWS among the scheduling
+techniques APRES is positioned against).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.sched.base import IssueCandidate, WarpScheduler
+
+
+class CAWAScheduler(WarpScheduler):
+    """Most-lagging-warp-first issue scheduling."""
+
+    name = "cawa"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._retired: list[int] = []
+
+    def reset(self, num_warps: int) -> None:
+        super().reset(num_warps)
+        self._retired = [0] * num_warps
+
+    def criticality(self, warp_id: int) -> int:
+        """Instructions this warp trails the leader by (>= 0)."""
+        return max(self._retired) - self._retired[warp_id]
+
+    def select(self, candidates: Sequence[IssueCandidate], cycle: int) -> Optional[int]:
+        if not candidates:
+            return None
+        # Most critical first; warp id breaks ties deterministically.
+        chosen = min(candidates, key=lambda c: (self._retired[c.warp_id], c.warp_id))
+        return chosen.warp_id
+
+    def notify_issue(self, warp_id: int, is_mem: bool, cycle: int) -> None:
+        self._retired[warp_id] += 1
+        self.events += 1
+
+    def notify_warp_finished(self, warp_id: int) -> None:
+        # A finished warp must not define the lag baseline.
+        self._retired[warp_id] = -1

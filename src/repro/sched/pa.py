@@ -1,0 +1,21 @@
+"""Prefetch-Aware scheduling (Jog et al., ISCA '13 / OWL).
+
+The OWL family schedules warps in fetch groups whose members are
+*non-consecutive*, so concurrently-executing warps touch spread-out memory
+regions. That spreads demand across DRAM banks and — with a prefetcher —
+lets one group's demand accesses cover the next group's lines. We model it
+as a two-level scheduler with interleaved group membership.
+"""
+
+from __future__ import annotations
+
+from repro.sched.twolevel import TwoLevelScheduler
+
+
+class PAScheduler(TwoLevelScheduler):
+    """Two-level scheduling over interleaved (non-consecutive) warp groups."""
+
+    name = "pa"
+
+    def __init__(self, group_size: int = 8):
+        super().__init__(group_size=group_size, interleaved=True)

@@ -1,0 +1,38 @@
+"""Name-based scheduler construction used by the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sched.base import WarpScheduler
+from repro.sched.cawa import CAWAScheduler
+from repro.sched.ccws import CCWSScheduler
+from repro.sched.gto import GTOScheduler
+from repro.sched.lrr import LRRScheduler
+from repro.sched.mascar import MASCARScheduler
+from repro.sched.pa import PAScheduler
+from repro.sched.twolevel import TwoLevelScheduler
+
+SCHEDULERS: dict[str, Callable[[], WarpScheduler]] = {
+    "lrr": LRRScheduler,
+    "gto": GTOScheduler,
+    "twolevel": TwoLevelScheduler,
+    "ccws": CCWSScheduler,
+    "mascar": MASCARScheduler,
+    "pa": PAScheduler,
+    "cawa": CAWAScheduler,
+}
+
+
+def make_scheduler(name: str) -> WarpScheduler:
+    """Instantiate a scheduler by its registry name.
+
+    LAWS is constructed through :func:`repro.core.apres.build_apres`
+    because it is paired with a prefetch engine.
+    """
+    try:
+        factory = SCHEDULERS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCHEDULERS))
+        raise ValueError(f"unknown scheduler {name!r}; known: {known}") from None
+    return factory()

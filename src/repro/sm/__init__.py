@@ -1,0 +1,7 @@
+"""Streaming-multiprocessor pipeline and the whole-GPU simulator."""
+
+from repro.sm.pipeline import SMCore
+from repro.sm.simulator import GPUSimulator, SimulationResult, simulate
+from repro.sm.warp import WarpContext
+
+__all__ = ["SMCore", "GPUSimulator", "SimulationResult", "simulate", "WarpContext"]

@@ -1,0 +1,277 @@
+"""One SM's issue pipeline.
+
+Each cycle the SM issues at most one warp-instruction, chosen by the
+scheduler. Loads are coalesced into line requests and sent to the L1; if
+the L1 runs out of MSHRs mid-load the remaining requests enter a replay
+queue that blocks further memory issue (a structural hazard) until they
+commit. The LSU reports each load's primary outcome back to the scheduler
+(the signal LAWS acts on) and to the prefetcher, whose candidates are
+issued into the L1 as prefetch fills.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.config import GPUConfig
+from repro.isa.instructions import Instr, Op
+from repro.isa.program import KernelSpec
+from repro.mem.cache import AccessOutcome, L1Cache
+from repro.mem.coalescer import coalesce
+from repro.mem.request import LoadAccess
+from repro.mem.subsystem import MemorySubsystem
+from repro.prefetch.base import Prefetcher
+from repro.sched.base import IssueCandidate, WarpScheduler
+from repro.sm.warp import WarpContext
+from repro.stats.counters import SimStats
+
+#: Observer invoked for every executed load: ``fn(access, line_hits)``.
+LoadObserver = Callable[[LoadAccess, list[bool]], None]
+
+
+class _PendingLoad:
+    """A load whose line requests have not all been accepted by the L1."""
+
+    __slots__ = ("warp", "pc", "primary_addr", "remaining", "line_addrs", "line_hits")
+
+    def __init__(
+        self,
+        warp: WarpContext,
+        pc: int,
+        primary_addr: int,
+        remaining: deque[int],
+        line_addrs: tuple[int, ...],
+        line_hits: list[bool],
+    ):
+        self.warp = warp
+        self.pc = pc
+        self.primary_addr = primary_addr
+        self.remaining = remaining
+        self.line_addrs = line_addrs
+        self.line_hits = line_hits
+
+
+class SMCore:
+    """Cycle-level model of one streaming multiprocessor."""
+
+    #: MSHR occupancy above which prefetches are dropped.
+    PREFETCH_MSHR_LIMIT = 0.75
+    #: Loads that can wait on MSHR reservation before memory issue blocks.
+    LSU_QUEUE_DEPTH = 4
+
+    def __init__(
+        self,
+        sm_id: int,
+        config: GPUConfig,
+        kernel: KernelSpec,
+        scheduler: WarpScheduler,
+        prefetcher: Prefetcher,
+        l1: L1Cache,
+        subsystem: MemorySubsystem,
+        stats: SimStats,
+    ):
+        self.sm_id = sm_id
+        self._config = config
+        self._scheduler = scheduler
+        self._prefetcher = prefetcher
+        self._l1 = l1
+        self._subsystem = subsystem
+        self._stats = stats
+        wave_stride = config.num_sms * config.max_warps_per_sm
+        if not kernel.fresh_waves:
+            wave_stride = 0
+        self.warps = [
+            WarpContext(w, sm_id * config.max_warps_per_sm + w, kernel, wave_stride)
+            for w in range(config.max_warps_per_sm)
+        ]
+        self._replay: deque[_PendingLoad] = deque()
+        self._is_mem_at = tuple(i.is_mem for i in kernel.body)
+        self.load_observers: list[LoadObserver] = []
+        scheduler.reset(len(self.warps))
+        scheduler.attach_l1(l1)
+        prefetcher.reset(len(self.warps))
+        l1.eviction_listener = scheduler.notify_eviction
+
+    # ------------------------------------------------------------------
+    # Public state
+    # ------------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return all(w.finished for w in self.warps) and not self._replay
+
+    def next_wake_hint(self, now: int) -> Optional[int]:
+        """Earliest future cycle a warp becomes ready without an event.
+
+        Warps stalled on memory (or loads parked in the replay queue) wake
+        through fill events, so they contribute no hint.
+        """
+        hint: Optional[int] = None
+        for w in self.warps:
+            if w.finished or w.outstanding:
+                continue
+            if w.ready_at > now and (hint is None or w.ready_at < hint):
+                hint = w.ready_at
+        return hint
+
+    # ------------------------------------------------------------------
+    # Cycle loop
+    # ------------------------------------------------------------------
+
+    def cycle(self, now: int) -> bool:
+        """Advance one cycle; returns True if an instruction was issued."""
+        self._process_replay(now)
+        lsu_blocked = len(self._replay) >= self.LSU_QUEUE_DEPTH
+
+        candidates = []
+        is_mem_at = self._is_mem_at
+        for w in self.warps:
+            if w.finished or w.outstanding or w.ready_at > now:
+                continue
+            is_mem = is_mem_at[w.pc_index]
+            if is_mem and lsu_blocked:
+                self._stats.lsu_structural_stalls += 1
+                continue
+            candidates.append(IssueCandidate(w.warp_id, is_mem))
+        if not candidates:
+            self._stats.idle_cycles += 1
+            return False
+
+        chosen = self._scheduler.select(candidates, now)
+        if chosen is None:
+            self._stats.idle_cycles += 1
+            return False
+        warp = self.warps[chosen]
+        self._issue(warp, warp.current_instr, now)
+        return True
+
+    # ------------------------------------------------------------------
+    # Issue paths
+    # ------------------------------------------------------------------
+
+    def _issue(self, warp: WarpContext, instr: Instr, now: int) -> None:
+        self._stats.instructions += 1
+        self._scheduler.notify_issue(warp.warp_id, instr.is_mem, now)
+        if instr.op is Op.ALU:
+            # ALU chains are dependent: the next same-warp issue waits.
+            self._stats.alu_instructions += 1
+            warp.ready_at = now + self._config.issue_latency
+        elif instr.op is Op.STORE:
+            # Stores retire into the write path without blocking the warp.
+            self._stats.store_instructions += 1
+            addrs = instr.addr_gen.addresses(warp.global_id, warp.iteration)
+            lines = coalesce(addrs, self._config.l1.line_size)
+            self._subsystem.store(self.sm_id, lines, now)
+            warp.ready_at = now + 1
+        else:
+            self._stats.load_instructions += 1
+            self._issue_load(warp, instr, now)
+        self._finish_instruction(warp)
+
+    def _issue_load(self, warp: WarpContext, instr: Instr, now: int) -> None:
+        addr_gen = instr.addr_gen
+        assert addr_gen is not None
+        addrs = addr_gen.addresses(warp.global_id, warp.iteration)
+        lines = coalesce(addrs, self._config.l1.line_size)
+        # Stall on use: the warp resumes when its last request returns.
+        warp.outstanding += len(lines)
+        warp.ready_at = now + 1
+        pending = _PendingLoad(
+            warp=warp,
+            pc=instr.pc,
+            primary_addr=addrs[0],
+            remaining=deque(lines),
+            line_addrs=tuple(lines),
+            line_hits=[],
+        )
+        self._drain_pending(pending, now)
+        if pending.remaining:
+            self._replay.append(pending)
+
+    def _process_replay(self, now: int) -> None:
+        """Retry stalled loads in order; a stuck head does not starve the rest."""
+        for _ in range(len(self._replay)):
+            pending = self._replay[0]
+            self._drain_pending(pending, now)
+            if pending.remaining:
+                self._replay.rotate(-1)
+            else:
+                self._replay.popleft()
+
+    def _drain_pending(self, pending: _PendingLoad, now: int) -> None:
+        """Send line requests to L1 until done or a reservation fails."""
+        warp = pending.warp
+        while pending.remaining:
+            line = pending.remaining[0]
+            outcome, ready = self._l1.access(
+                line, warp.warp_id, now, on_fill=lambda when, w=warp: self._mem_done(w, when)
+            )
+            if outcome is AccessOutcome.STALL:
+                return
+            pending.remaining.popleft()
+            hit = outcome is AccessOutcome.HIT
+            pending.line_hits.append(hit)
+            if hit:
+                assert ready is not None
+                self._subsystem.record_hit_latency(ready - now)
+                self._subsystem.events.schedule(
+                    ready, lambda when, w=warp: self._mem_done(w, when)
+                )
+            if len(pending.line_hits) == 1:
+                # Primary request committed: emit the LSU feedback.
+                self._emit_load_feedback(pending, hit, now)
+        # All lines committed; remaining per-line outcomes (for observers)
+        # were accumulated as they went.
+        if self.load_observers and len(pending.line_hits) == len(pending.line_addrs):
+            access = LoadAccess(
+                sm_id=self.sm_id,
+                warp_id=warp.warp_id,
+                pc=pending.pc,
+                primary_addr=pending.primary_addr,
+                line_addrs=pending.line_addrs,
+                primary_hit=pending.line_hits[0],
+                cycle=now,
+            )
+            for observer in self.load_observers:
+                observer(access, list(pending.line_hits))
+
+    def _emit_load_feedback(self, pending: _PendingLoad, primary_hit: bool, now: int) -> None:
+        access = LoadAccess(
+            sm_id=self.sm_id,
+            warp_id=pending.warp.warp_id,
+            pc=pending.pc,
+            primary_addr=pending.primary_addr,
+            line_addrs=pending.line_addrs,
+            primary_hit=primary_hit,
+            cycle=now,
+        )
+        self._scheduler.notify_load_result(access)
+        candidates = self._prefetcher.observe_load(access)
+        line_size = self._config.l1.line_size
+        targets = []
+        for cand in candidates:
+            # Prefetches must not crowd out demand misses: leave MSHR
+            # headroom (adaptive throttling, as both STR and SAP do).
+            if self._l1.mshr_occupancy >= self.PREFETCH_MSHR_LIMIT:
+                self._l1.stats.prefetch_dropped += 1
+                continue
+            line = cand.addr - (cand.addr % line_size)
+            issued = self._l1.prefetch(line, now)
+            if issued and cand.target_warp is not None:
+                targets.append(cand.target_warp)
+        if targets:
+            self._scheduler.notify_prefetch_targets(targets)
+
+    def _mem_done(self, warp: WarpContext, when: int) -> None:
+        warp.outstanding -= 1
+        if warp.outstanding < 0:
+            raise AssertionError("memory completion underflow")
+        if warp.outstanding == 0:
+            warp.ready_at = max(warp.ready_at, when)
+            self._scheduler.notify_mem_complete(warp.warp_id, when)
+
+    def _finish_instruction(self, warp: WarpContext) -> None:
+        warp.advance()
+        if warp.finished:
+            self._scheduler.notify_warp_finished(warp.warp_id)

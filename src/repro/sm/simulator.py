@@ -1,0 +1,140 @@
+"""Whole-GPU simulator: N SMs over a shared memory subsystem.
+
+The main loop is cycle-driven with event-queue fast-forwarding: when every
+SM is stalled (all warps waiting on memory or dependent-issue delays) the
+clock jumps straight to the next wake-up, which makes memory-bound phases
+cheap to simulate without changing any observable timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.config import GPUConfig
+from repro.errors import SimulationError
+from repro.isa.program import KernelSpec
+from repro.mem.subsystem import MemorySubsystem
+from repro.prefetch.base import Prefetcher
+from repro.sched.base import WarpScheduler
+from repro.sm.pipeline import LoadObserver, SMCore
+from repro.stats.counters import SimStats
+
+#: Builds one (scheduler, prefetcher) pair per SM. APRES couples the two,
+#: which is why they are constructed together.
+EngineFactory = Callable[[], tuple[WarpScheduler, Prefetcher]]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    stats: SimStats
+    #: Scheduler + prefetcher bookkeeping events (energy model input).
+    engine_events: int
+    config: GPUConfig
+    kernel_name: str
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+
+class GPUSimulator:
+    """Runs one kernel across ``config.num_sms`` SMs."""
+
+    def __init__(
+        self,
+        kernel: KernelSpec,
+        config: GPUConfig,
+        engine_factory: EngineFactory,
+        load_observers: Sequence[LoadObserver] = (),
+    ):
+        self._kernel = kernel
+        self._config = config
+        self.stats = SimStats()
+        self._subsystem = MemorySubsystem(config, self.stats)
+        self._sms: list[SMCore] = []
+        self._engines: list[tuple[WarpScheduler, Prefetcher]] = []
+        for sm_id in range(config.num_sms):
+            scheduler, prefetcher = engine_factory()
+            self._engines.append((scheduler, prefetcher))
+            sm = SMCore(
+                sm_id,
+                config,
+                kernel,
+                scheduler,
+                prefetcher,
+                self._subsystem.l1s[sm_id],
+                self._subsystem,
+                self.stats,
+            )
+            sm.load_observers.extend(load_observers)
+            self._sms.append(sm)
+
+    @property
+    def subsystem(self) -> MemorySubsystem:
+        return self._subsystem
+
+    def run(self) -> SimulationResult:
+        """Simulate to completion; returns aggregated statistics."""
+        now = 0
+        max_cycles = self._config.max_cycles
+        events = self._subsystem.events
+        while True:
+            events.run_until(now)
+            issued_any = False
+            for sm in self._sms:
+                issued_any |= sm.cycle(now)
+            if all(sm.done for sm in self._sms) and not len(events):
+                now += 1
+                break
+            if now >= max_cycles:
+                raise SimulationError(
+                    f"kernel {self._kernel.name!r} exceeded {max_cycles} cycles"
+                )
+            if issued_any:
+                now += 1
+                continue
+            now = self._fast_forward(now)
+        self.stats.cycles = now
+        engine_events = sum(s.events + p.events for s, p in self._engines)
+        return SimulationResult(
+            stats=self.stats,
+            engine_events=engine_events,
+            config=self._config,
+            kernel_name=self._kernel.name,
+        )
+
+    def _fast_forward(self, now: int) -> int:
+        """Jump to the next cycle at which anything can happen."""
+        wake: Optional[int] = self._subsystem.events.next_event_cycle
+        for sm in self._sms:
+            hint = sm.next_wake_hint(now)
+            if hint is not None and (wake is None or hint < wake):
+                wake = hint
+        if wake is None:
+            raise SimulationError(
+                f"kernel {self._kernel.name!r} deadlocked at cycle {now}: "
+                "no ready warps and no pending events"
+            )
+        if wake <= now:
+            return now + 1
+        skipped = wake - now - 1
+        if skipped > 0:
+            self.stats.idle_cycles += skipped * len(self._sms)
+        return wake
+
+
+def simulate(
+    kernel: KernelSpec,
+    config: GPUConfig,
+    engine_factory: EngineFactory,
+    load_observers: Sequence[LoadObserver] = (),
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`GPUSimulator` and run it."""
+    return GPUSimulator(kernel, config, engine_factory, load_observers).run()

@@ -1,0 +1,76 @@
+"""Per-warp architectural state."""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instr
+from repro.isa.program import KernelSpec
+
+
+class WarpContext:
+    """Execution state of one warp.
+
+    The warp stalls on use: a load blocks further issue from this warp
+    until its last coalesced request returns (the next instruction consumes
+    the value), which is what staggers warp progress on real GPUs and
+    creates the prefetch window APRES exploits. ALU instructions carry the
+    dependent-issue latency (8 cycles, Section IV).
+    """
+
+    __slots__ = (
+        "warp_id",
+        "global_id",
+        "kernel",
+        "pc_index",
+        "iteration",
+        "wave",
+        "wave_stride",
+        "ready_at",
+        "outstanding",
+        "finished",
+    )
+
+    def __init__(self, warp_id: int, global_id: int, kernel: KernelSpec,
+                 wave_stride: int = 0):
+        self.warp_id = warp_id
+        self.global_id = global_id
+        self.kernel = kernel
+        self.pc_index = 0
+        self.iteration = 0
+        self.wave = 0
+        #: Added to ``global_id`` on refill so each wave's warps get fresh,
+        #: stride-consistent global IDs.
+        self.wave_stride = wave_stride
+        self.ready_at = 0
+        self.outstanding = 0
+        self.finished = False
+
+    @property
+    def current_instr(self) -> Instr:
+        return self.kernel.body[self.pc_index]
+
+    def is_ready(self, now: int) -> bool:
+        return not self.finished and self.outstanding == 0 and self.ready_at <= now
+
+    def advance(self) -> None:
+        """Retire the current instruction pointer, refilling across waves."""
+        self.pc_index += 1
+        if self.pc_index < len(self.kernel.body):
+            return
+        self.pc_index = 0
+        self.iteration += 1
+        if self.iteration < self.kernel.iterations:
+            return
+        self.iteration = 0
+        self.wave += 1
+        if self.wave < self.kernel.waves:
+            # Occupancy refill: the slot picks up the next thread block.
+            self.global_id += self.wave_stride
+        else:
+            self.finished = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WarpContext(id={self.warp_id}, iter={self.iteration}/"
+            f"{self.kernel.iterations}, pc_index={self.pc_index}, "
+            f"outstanding={self.outstanding}, finished={self.finished})"
+        )

@@ -1,0 +1,13 @@
+"""Simulation statistics: counters, miss classification and the energy model."""
+
+from repro.stats.counters import CacheStats, MemoryStats, SimStats
+from repro.stats.energy import EnergyCosts, EnergyModel, EnergyReport
+
+__all__ = [
+    "CacheStats",
+    "MemoryStats",
+    "SimStats",
+    "EnergyCosts",
+    "EnergyModel",
+    "EnergyReport",
+]

@@ -1,0 +1,75 @@
+"""Event-count dynamic energy model (GPUWattch substitute).
+
+Figure 15 of the paper reports *relative* dynamic energy, simulated with
+GPUWattch. We replace it with a per-event energy model: every architectural
+event is charged a fixed energy, so the relative ordering between
+configurations — which is all the figure claims — is preserved. Per-event
+costs are loosely derived from published 40 nm GPU numbers (DRAM access two
+orders of magnitude above an ALU op, L2 roughly 5x L1).
+
+The APRES structures (LLT/WGT/PT lookups) are charged per scheduling event;
+the paper measured this overhead below 3% of total energy and so does this
+model under default costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stats.counters import SimStats
+
+
+@dataclass(frozen=True)
+class EnergyCosts:
+    """Per-event energies in picojoules (relative scale is what matters)."""
+
+    alu_op: float = 2.0
+    l1_access: float = 20.0
+    l2_access: float = 100.0
+    dram_access: float = 500.0
+    #: Per issued warp-instruction front-end cost (fetch/decode/operand).
+    issue: float = 4.0
+    #: Per-cycle cost of clocking one SM.
+    sm_cycle: float = 1.0
+    #: APRES table lookup/update per scheduler or prefetcher event.
+    apres_event: float = 0.5
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Breakdown of dynamic energy for one run (picojoules)."""
+
+    core: float
+    l1: float
+    l2: float
+    dram: float
+    apres: float
+
+    @property
+    def total(self) -> float:
+        return self.core + self.l1 + self.l2 + self.dram + self.apres
+
+
+class EnergyModel:
+    """Computes an :class:`EnergyReport` from simulation counters."""
+
+    def __init__(self, costs: EnergyCosts | None = None):
+        self._costs = costs or EnergyCosts()
+
+    def report(self, stats: SimStats, apres_events: int = 0, num_sms: int = 1) -> EnergyReport:
+        c = self._costs
+        core = (
+            stats.alu_instructions * c.alu_op
+            + stats.instructions * c.issue
+            + stats.cycles * c.sm_cycle * num_sms
+        )
+        l1_events = stats.l1.accesses + stats.l1.prefetch_issued + stats.l1.evictions
+        l2_events = stats.memory.l2_accesses
+        dram_events = stats.memory.dram_requests + stats.memory.bytes_stored // 128
+        return EnergyReport(
+            core=core,
+            l1=l1_events * c.l1_access,
+            l2=l2_events * c.l2_access,
+            dram=dram_events * c.dram_access,
+            apres=apres_events * c.apres_event,
+        )

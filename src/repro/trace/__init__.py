@@ -1,0 +1,21 @@
+"""Memory-trace recording and trace-driven cache replay.
+
+The execution-driven simulator is what the reproduction's experiments use
+(scheduling changes the address stream), but a recorded trace is useful
+for offline cache studies: sweep cache geometries over one fixed access
+stream, compare replacement behaviour, or export workloads for external
+tools.
+"""
+
+from repro.trace.recorder import TraceEvent, TraceRecorder, load_trace, save_trace
+from repro.trace.replay import ReplayResult, capacity_sweep, replay_trace
+
+__all__ = [
+    "TraceEvent",
+    "TraceRecorder",
+    "load_trace",
+    "save_trace",
+    "ReplayResult",
+    "capacity_sweep",
+    "replay_trace",
+]

@@ -1,0 +1,95 @@
+"""Recording load streams from a simulation.
+
+A :class:`TraceRecorder` is a load observer (the same hook the
+characterisation profiler uses); it captures one :class:`TraceEvent` per
+executed load. Traces serialise to gzipped JSON-lines, one event per line,
+so they stream and diff well.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import pathlib
+from dataclasses import dataclass, asdict
+from typing import Iterable, Union
+
+from repro.mem.request import LoadAccess
+
+PathLike = Union[str, pathlib.Path]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One executed load."""
+
+    cycle: int
+    sm_id: int
+    warp_id: int
+    pc: int
+    primary_addr: int
+    line_addrs: tuple[int, ...]
+    primary_hit: bool
+
+    @classmethod
+    def from_access(cls, access: LoadAccess) -> "TraceEvent":
+        return cls(
+            cycle=access.cycle,
+            sm_id=access.sm_id,
+            warp_id=access.warp_id,
+            pc=access.pc,
+            primary_addr=access.primary_addr,
+            line_addrs=tuple(access.line_addrs),
+            primary_hit=access.primary_hit,
+        )
+
+
+class TraceRecorder:
+    """Attachable observer accumulating the load stream of a run.
+
+    Usage::
+
+        recorder = TraceRecorder()
+        simulate(kernel, config, engine, load_observers=[recorder.observe])
+        save_trace(recorder.events, "run.trace.gz")
+    """
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def observe(self, access: LoadAccess, line_hits: list[bool]) -> None:
+        self.events.append(TraceEvent.from_access(access))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def line_stream(self, sm_id: int | None = None) -> list[int]:
+        """The flattened line-address stream (optionally for one SM)."""
+        out: list[int] = []
+        for e in self.events:
+            if sm_id is None or e.sm_id == sm_id:
+                out.extend(e.line_addrs)
+        return out
+
+
+def save_trace(events: Iterable[TraceEvent], path: PathLike) -> int:
+    """Write events as gzipped JSON lines; returns the event count."""
+    count = 0
+    with gzip.open(path, "wt", encoding="utf-8") as fh:
+        for event in events:
+            record = asdict(event)
+            record["line_addrs"] = list(record["line_addrs"])
+            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+            count += 1
+    return count
+
+
+def load_trace(path: PathLike) -> list[TraceEvent]:
+    """Read a trace written by :func:`save_trace`."""
+    events: list[TraceEvent] = []
+    with gzip.open(path, "rt", encoding="utf-8") as fh:
+        for line in fh:
+            record = json.loads(line)
+            record["line_addrs"] = tuple(record["line_addrs"])
+            events.append(TraceEvent(**record))
+    return events

@@ -1,0 +1,86 @@
+"""Trace-driven cache replay.
+
+Replays a recorded load stream through a standalone cache model — no
+pipeline, no timing feedback — to evaluate cache geometry against a fixed
+access stream. This is the classic trace-driven methodology; it cannot
+capture scheduling effects (the trace freezes the interleaving, which is
+exactly what APRES manipulates), so the reproduction's experiments use the
+execution-driven simulator instead. Replay is for offline what-if studies:
+"would 64 KB have fit this stream?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.config import CacheConfig
+from repro.mem.tags import LineMeta, TagArray
+from repro.trace.recorder import TraceEvent
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Cache behaviour of one replayed stream."""
+
+    accesses: int
+    hits: int
+    cold_misses: int
+    capacity_conflict_misses: int
+
+    @property
+    def misses(self) -> int:
+        return self.cold_misses + self.capacity_conflict_misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+def replay_trace(
+    events: Iterable[TraceEvent],
+    cache: CacheConfig,
+    sm_id: Optional[int] = None,
+) -> ReplayResult:
+    """Replay a trace's line accesses through an LRU cache of ``cache``'s
+    geometry. ``sm_id`` restricts to one SM's stream (each SM has its own
+    L1, so mixing SMs would model a shared cache instead).
+    """
+    tags = TagArray(cache)
+    seen: set[int] = set()
+    accesses = hits = cold = cap = 0
+    for event in events:
+        if sm_id is not None and event.sm_id != sm_id:
+            continue
+        for line in event.line_addrs:
+            accesses += 1
+            if tags.probe(line) is not None:
+                hits += 1
+                continue
+            if line in seen:
+                cap += 1
+            else:
+                seen.add(line)
+                cold += 1
+            tags.insert(line, LineMeta(referenced=True))
+    return ReplayResult(accesses, hits, cold, cap)
+
+
+def capacity_sweep(
+    events: list[TraceEvent],
+    sizes_bytes: Iterable[int],
+    associativity: int = 8,
+    line_size: int = 128,
+    sm_id: Optional[int] = 0,
+) -> dict[int, ReplayResult]:
+    """Replay one stream against several cache capacities."""
+    out: dict[int, ReplayResult] = {}
+    for size in sizes_bytes:
+        cfg = CacheConfig(size_bytes=size, associativity=associativity,
+                          line_size=line_size)
+        out[size] = replay_trace(events, cfg, sm_id=sm_id)
+    return out

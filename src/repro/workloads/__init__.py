@@ -1,0 +1,27 @@
+"""Synthetic workloads reproducing the paper's 15-benchmark suite (Table IV)."""
+
+from repro.workloads.spec import Category, LoadSpec, StoreSpec, WorkloadSpec
+from repro.workloads.suite import (
+    SUITE,
+    cache_insensitive_workloads,
+    cache_sensitive_workloads,
+    compute_workloads,
+    memory_intensive_workloads,
+    workload,
+)
+from repro.workloads.synthetic import SubstepAddress, build_kernel
+
+__all__ = [
+    "Category",
+    "LoadSpec",
+    "StoreSpec",
+    "WorkloadSpec",
+    "SUITE",
+    "cache_insensitive_workloads",
+    "cache_sensitive_workloads",
+    "compute_workloads",
+    "memory_intensive_workloads",
+    "workload",
+    "SubstepAddress",
+    "build_kernel",
+]

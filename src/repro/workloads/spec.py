@@ -1,0 +1,99 @@
+"""Workload specifications.
+
+A :class:`WorkloadSpec` describes one benchmark as the paper's Table I
+does: a set of static loads with per-load access patterns (address
+generator, execution weight), a compute intensity, and a loop trip count.
+:func:`repro.workloads.synthetic.build_kernel` lowers a spec to an
+executable :class:`~repro.isa.program.KernelSpec`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import WorkloadError
+from repro.isa.address import AddressGenerator
+
+
+class Category(enum.Enum):
+    """Table IV's application categories."""
+
+    CACHE_SENSITIVE = "cache-sensitive"
+    CACHE_INSENSITIVE = "cache-insensitive"
+    COMPUTE = "compute-intensive"
+
+    @property
+    def memory_intensive(self) -> bool:
+        return self is not Category.COMPUTE
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """One static load of a workload.
+
+    ``weight`` occurrences of the load appear per loop body (modelling an
+    inner loop over the same static PC). With ``substep=True`` each
+    occurrence advances the address stream; with ``substep=False`` every
+    occurrence re-reads the same address — a pure intra-iteration reuse
+    (the SRAD third-load pattern of Section III-B).
+    """
+
+    name: str
+    pc: int
+    gen: AddressGenerator
+    weight: int = 1
+    substep: bool = True
+
+    def __post_init__(self) -> None:
+        if self.weight < 1:
+            raise WorkloadError(f"load {self.name!r}: weight must be >= 1")
+        if self.pc < 0:
+            raise WorkloadError(f"load {self.name!r}: negative pc")
+
+
+@dataclass(frozen=True)
+class StoreSpec:
+    """One static store (write-through; does not block its warp)."""
+
+    name: str
+    pc: int
+    gen: AddressGenerator
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One benchmark of the suite."""
+
+    name: str
+    abbr: str
+    suite: str
+    category: Category
+    loads: tuple[LoadSpec, ...]
+    iterations: int
+    #: ALU instructions inserted after each load occurrence.
+    alu_per_load: int = 1
+    #: Thread blocks per warp slot (occupancy refill; see KernelSpec.waves).
+    waves: int = 2
+    #: False for iterative kernels whose waves re-walk the same data.
+    fresh_waves: bool = True
+    store: Optional[StoreSpec] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.loads:
+            raise WorkloadError(f"workload {self.abbr}: needs at least one load")
+        if self.iterations < 1:
+            raise WorkloadError(f"workload {self.abbr}: iterations must be >= 1")
+        if self.waves < 1:
+            raise WorkloadError(f"workload {self.abbr}: waves must be >= 1")
+        if self.alu_per_load < 0:
+            raise WorkloadError(f"workload {self.abbr}: negative alu_per_load")
+        pcs = [l.pc for l in self.loads]
+        if len(set(pcs)) != len(pcs):
+            raise WorkloadError(f"workload {self.abbr}: duplicate load PCs")
+
+    @property
+    def memory_intensive(self) -> bool:
+        return self.category.memory_intensive

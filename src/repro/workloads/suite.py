@@ -1,0 +1,568 @@
+"""The 15-benchmark suite of Table IV, rebuilt as synthetic kernels.
+
+Each workload reproduces the per-static-load behaviour the paper
+characterises in Table I: the dominant loads keep the paper's PCs, their
+relative execution weights approximate the %Load column, their address
+generators produce the reported inter-warp strides, and footprints/hot-set
+sizes are chosen so the locality metric (#L/#R) and baseline L1 behaviour
+land in the same regime (thrashing, streaming, or cache-resident).
+
+Sizes are scaled to keep pure-Python simulations tractable: footprints are
+megabytes instead of the applications' full datasets, but every footprint
+that must exceed the 32 KB L1 does so by a comfortable margin, so the
+contention phenomena the paper studies are preserved.
+"""
+
+from __future__ import annotations
+
+from repro.isa.address import (
+    BroadcastAddress,
+    IndirectAddress,
+    IrregularAddress,
+    StridedAddress,
+)
+from repro.workloads.spec import Category, LoadSpec, StoreSpec, WorkloadSpec
+
+KB = 1024
+MB = 1024 * KB
+
+
+def _region(index: int) -> int:
+    """Disjoint 1 GB address regions keep loads from aliasing."""
+    return index * 1024 * MB
+
+
+def _bfs() -> WorkloadSpec:
+    """Breadth-First Search: irregular graph loads with strong inter-warp reuse."""
+    return WorkloadSpec(
+        name="Breadth-First Search",
+        abbr="BFS",
+        suite="Rodinia",
+        category=Category.CACHE_SENSITIVE,
+        loads=(
+            LoadSpec(
+                # Per-warp frontier chunk: intra-warp locality that CCWS's
+                # throttling and LAWS's grouping can both recover.
+                "edges", 0x110,
+                IrregularAddress(_region(1), footprint_bytes=1 * MB,
+                                 private_block_bytes=1024, hot_fraction=0.99,
+                                 lines_per_warp=2, seed=11),
+                weight=4,
+            ),
+            LoadSpec(
+                "nodes", 0xF0,
+                IrregularAddress(_region(2), footprint_bytes=96 * KB, hot_bytes=8 * KB,
+                                 hot_fraction=0.80, lines_per_warp=2, seed=12),
+                weight=2,
+            ),
+            LoadSpec(
+                "levels", 0x198,
+                IrregularAddress(_region(3), footprint_bytes=64 * KB, hot_bytes=8 * KB,
+                                 hot_fraction=0.75, lines_per_warp=1, seed=13),
+                weight=1,
+            ),
+        ),
+        iterations=16,
+        waves=3,
+        fresh_waves=False,
+        alu_per_load=1,
+        store=StoreSpec("visited", 0x1F0, StridedAddress(_region(4), warp_stride=128, iter_stride=12288)),
+        description="frontier expansion over an irregular graph",
+    )
+
+
+def _mum() -> WorkloadSpec:
+    """MUMmerGPU: suffix-tree walks, small hot node set, mostly cache-resident."""
+    return WorkloadSpec(
+        name="MUMmerGPU",
+        abbr="MUM",
+        suite="Rodinia",
+        category=Category.CACHE_SENSITIVE,
+        loads=(
+            LoadSpec(
+                "tree", 0x7A8,
+                IrregularAddress(_region(1), footprint_bytes=2 * MB, hot_bytes=6 * KB,
+                                 hot_fraction=0.92, lines_per_warp=2, seed=21),
+                weight=6,
+            ),
+            LoadSpec(
+                "query", 0x460,
+                IrregularAddress(_region(2), footprint_bytes=1 * MB, hot_bytes=4 * KB,
+                                 hot_fraction=0.97, lines_per_warp=1, seed=22),
+                weight=2,
+            ),
+            LoadSpec(
+                "refs", 0x8A0,
+                IrregularAddress(_region(3), footprint_bytes=1 * MB, hot_bytes=6 * KB,
+                                 hot_fraction=0.90, lines_per_warp=2, seed=23),
+                weight=1,
+            ),
+        ),
+        iterations=14,
+        waves=3,
+        fresh_waves=False,
+        alu_per_load=2,
+        description="suffix-tree matching with a hot root region",
+    )
+
+
+def _nw() -> WorkloadSpec:
+    """Needleman-Wunsch: huge-stride diagonal wavefront plus shared reference row."""
+    big_stride = -1_966_080  # Table I's observed inter-warp stride
+    # 96 warps x |stride| ~ 189 MB: footprints are sized so the stride
+    # never wraps and stays exactly predictable, as in the real kernel.
+    fp = 256 * MB
+    return WorkloadSpec(
+        name="Needleman-Wunsch",
+        abbr="NW",
+        suite="Rodinia",
+        category=Category.CACHE_SENSITIVE,
+        loads=(
+            LoadSpec(
+                "diag_up", 0x490,
+                StridedAddress(_region(1), warp_stride=big_stride, iter_stride=-1280,
+                               footprint_bytes=fp),
+                weight=2,
+            ),
+            LoadSpec(
+                "diag_left", 0xD18,
+                StridedAddress(_region(2), warp_stride=big_stride, iter_stride=-1280,
+                               footprint_bytes=fp),
+                weight=2,
+            ),
+            LoadSpec(
+                "reference", 0x300,
+                BroadcastAddress(_region(3), region_bytes=4 * KB),
+                weight=5,
+            ),
+            LoadSpec(
+                "boundary", 0x108,
+                StridedAddress(_region(4), warp_stride=big_stride, iter_stride=-1280,
+                               footprint_bytes=fp),
+                weight=1,
+            ),
+        ),
+        iterations=26,
+        waves=2,
+        alu_per_load=1,
+        description="anti-diagonal dynamic-programming sweep",
+    )
+
+
+def _spmv() -> WorkloadSpec:
+    """SpMV: dense-vector gather with reuse plus streaming values."""
+    return WorkloadSpec(
+        name="SParse-Matrix dense-Vector multiplication",
+        abbr="SPMV",
+        suite="Parboil",
+        category=Category.CACHE_SENSITIVE,
+        loads=(
+            LoadSpec(
+                # Each warp's rows gather from its own slice of the dense
+                # vector: intra-warp reuse CCWS/LAWS can recover.
+                "vector_x", 0x1E0,
+                IrregularAddress(_region(1), footprint_bytes=768 * KB,
+                                 private_block_bytes=1024, hot_fraction=0.99,
+                                 lines_per_warp=2, seed=41),
+                weight=5,
+            ),
+            LoadSpec(
+                "columns", 0x200,
+                IrregularAddress(_region(2), footprint_bytes=96 * KB, hot_bytes=8 * KB,
+                                 hot_fraction=0.75, lines_per_warp=1, seed=42),
+                weight=2,
+            ),
+            LoadSpec(
+                "values", 0xE0,
+                StridedAddress(_region(3), warp_stride=512, iter_stride=49152,
+                               footprint_bytes=4 * MB),
+                weight=1,
+            ),
+        ),
+        iterations=18,
+        waves=3,
+        fresh_waves=False,
+        alu_per_load=1,
+        description="CSR matrix-vector product",
+    )
+
+
+def _km() -> WorkloadSpec:
+    """KMeans: one load, each warp re-walks a private 16-line region; the
+    aggregate working set (96 KB/SM, 3x the L1) thrashes exactly as
+    Section III-B describes (#L/#R ~ 0.06 but ~99% misses). Inter-warp
+    stride 4352 matches Table I."""
+    return WorkloadSpec(
+        name="KMeans",
+        abbr="KM",
+        suite="Rodinia",
+        category=Category.CACHE_SENSITIVE,
+        loads=(
+            LoadSpec(
+                "points", 0xE8,
+                StridedAddress(_region(1), warp_stride=4352, iter_stride=128,
+                               wrap_bytes=2048, footprint_bytes=8 * MB),
+                weight=2,
+            ),
+        ),
+        iterations=36,
+        waves=4,
+        fresh_waves=False,
+        alu_per_load=1,
+        store=StoreSpec("membership", 0x1F8, StridedAddress(_region(2), warp_stride=128, iter_stride=12288)),
+        description="per-thread feature walk repeated every outer iteration",
+    )
+
+
+def _lud() -> WorkloadSpec:
+    """LU Decomposition: stride-2048 panel walks with lagged inter-warp reuse."""
+    return WorkloadSpec(
+        name="LU Decomposition",
+        abbr="LUD",
+        suite="Rodinia",
+        category=Category.CACHE_INSENSITIVE,
+        loads=(
+            LoadSpec(
+                "panel_a", 0x20F0,
+                StridedAddress(_region(1), warp_stride=2048, iter_stride=256,
+                               footprint_bytes=1 * MB),
+                weight=2,
+            ),
+            LoadSpec(
+                "panel_b", 0x2080,
+                StridedAddress(_region(2), warp_stride=2048, iter_stride=256,
+                               footprint_bytes=1 * MB),
+                weight=2,
+            ),
+            LoadSpec(
+                "pivot", 0x22E0,
+                # Every workgroup reads the same pivot row: warp-invariant
+                # addresses give the high-locality load LAWS exploits.
+                StridedAddress(_region(3), warp_stride=0, iter_stride=128,
+                               wrap_bytes=64 * KB, footprint_bytes=1 * MB),
+                weight=2,
+            ),
+        ),
+        iterations=30,
+        waves=2,
+        alu_per_load=2,
+        description="blocked factorisation panels",
+    )
+
+
+def _srad() -> WorkloadSpec:
+    """SRAD: stride-16384 image sweeps; the third load re-reads its own line
+    (the #L/#R=0.52 load of Table I) and only survives if the scheduler keeps
+    the other sweeps from evicting it."""
+    return WorkloadSpec(
+        name="Speckle Reducing Anisotropic Diffusion",
+        abbr="SRAD",
+        suite="Rodinia",
+        category=Category.CACHE_INSENSITIVE,
+        loads=(
+            LoadSpec(
+                "north", 0x250,
+                StridedAddress(_region(1), warp_stride=16384, iter_stride=128,
+                               footprint_bytes=4 * MB),
+                weight=2,
+            ),
+            LoadSpec(
+                "south", 0x230,
+                StridedAddress(_region(2), warp_stride=16384, iter_stride=128,
+                               footprint_bytes=4 * MB),
+                weight=2,
+            ),
+            LoadSpec(
+                "center", 0x350,
+                StridedAddress(_region(3), warp_stride=16384, iter_stride=128,
+                               footprint_bytes=4 * MB),
+                weight=2,
+                substep=False,
+            ),
+        ),
+        iterations=30,
+        waves=2,
+        alu_per_load=1,
+        store=StoreSpec("out", 0x3F0, StridedAddress(_region(4), warp_stride=16384, iter_stride=128)),
+        description="stencil diffusion over a large image",
+    )
+
+
+def _pa() -> WorkloadSpec:
+    """Particle filter: streaming particle array + broadcast weight table."""
+    return WorkloadSpec(
+        name="PArticle filter",
+        abbr="PA",
+        suite="Rodinia",
+        category=Category.CACHE_INSENSITIVE,
+        loads=(
+            LoadSpec(
+                "particles", 0x2210,
+                StridedAddress(_region(1), warp_stride=8832, iter_stride=128,
+                               footprint_bytes=4 * MB),
+                weight=5,
+            ),
+            LoadSpec(
+                "weights", 0x2230,
+                BroadcastAddress(_region(2), region_bytes=4 * KB),
+                weight=4,
+            ),
+            LoadSpec(
+                "bins", 0x2088,
+                StridedAddress(_region(3), warp_stride=256, iter_stride=128,
+                               footprint_bytes=64 * KB),
+                weight=1,
+            ),
+        ),
+        iterations=26,
+        waves=2,
+        alu_per_load=1,
+        description="sequential Monte Carlo resampling",
+    )
+
+
+def _histo() -> WorkloadSpec:
+    """Histogram: noisy stride-512 input scan with scattered bin updates."""
+    return WorkloadSpec(
+        name="HISTOgram",
+        abbr="HISTO",
+        suite="Parboil",
+        category=Category.CACHE_INSENSITIVE,
+        loads=(
+            LoadSpec(
+                # iter_stride exceeds the 96-warp span so successive
+                # iterations never re-touch jittered neighbours.
+                "pixels", 0x168,
+                IndirectAddress(_region(1), warp_stride=512, window_bytes=1024,
+                                iter_stride=59392, footprint_bytes=4 * MB, seed=91),
+                weight=4,
+            ),
+        ),
+        iterations=26,
+        waves=2,
+        alu_per_load=2,
+        store=StoreSpec("bins", 0x1A0, IndirectAddress(_region(2), warp_stride=256,
+                                                       window_bytes=2048,
+                                                       footprint_bytes=128 * KB, seed=92)),
+        description="input scan feeding scattered bin increments",
+    )
+
+
+def _bp() -> WorkloadSpec:
+    """Back Propagation: stride-128 layer sweeps; the third load re-reads the
+    first load's lines shortly afterwards (its low miss rate in Table I)."""
+    input_gen = StridedAddress(_region(1), warp_stride=128, iter_stride=12288,
+                               footprint_bytes=2 * MB)
+    return WorkloadSpec(
+        name="Back Propagation",
+        abbr="BP",
+        suite="Rodinia",
+        category=Category.CACHE_INSENSITIVE,
+        loads=(
+            LoadSpec("input", 0x3F8, input_gen, weight=2),
+            # The re-read follows closely so its reuse window is short
+            # (the load's 0.03 miss rate in Table I).
+            LoadSpec("input_again", 0x478, input_gen, weight=2),
+            LoadSpec(
+                "hidden", 0x408,
+                StridedAddress(_region(2), warp_stride=128, iter_stride=12288,
+                               footprint_bytes=2 * MB),
+                weight=2,
+            ),
+        ),
+        iterations=26,
+        waves=2,
+        alu_per_load=2,
+        store=StoreSpec("deltas", 0x4F0, StridedAddress(_region(3), warp_stride=128, iter_stride=12288)),
+        description="feed-forward and error sweeps over layer arrays",
+    )
+
+
+def _pf() -> WorkloadSpec:
+    """PathFinder: compute-heavy wavefront over a cache-resident row."""
+    return WorkloadSpec(
+        name="PathFinder",
+        abbr="PF",
+        suite="Rodinia",
+        category=Category.COMPUTE,
+        loads=(
+            LoadSpec(
+                # The active DP row is shared by every workgroup: the
+                # high-locality load whose lifetime LAWS's grouping extends.
+                "row", 0x120,
+                StridedAddress(_region(1), warp_stride=0, iter_stride=128,
+                               wrap_bytes=1024, footprint_bytes=1 * MB),
+                weight=1,
+            ),
+            LoadSpec(
+                "wall", 0x148,
+                StridedAddress(_region(2), warp_stride=128, iter_stride=12288,
+                               footprint_bytes=4 * MB),
+                weight=1,
+            ),
+        ),
+        iterations=20,
+        waves=3,
+        fresh_waves=False,
+        alu_per_load=8,
+        description="dynamic-programming grid walk, high arithmetic intensity",
+    )
+
+
+def _cs() -> WorkloadSpec:
+    """ConvolutionSeparable: streaming rows + broadcast filter taps."""
+    return WorkloadSpec(
+        name="ConvolutionSeparable",
+        abbr="CS",
+        suite="CUDA",
+        category=Category.COMPUTE,
+        loads=(
+            LoadSpec(
+                "row_in", 0x210,
+                StridedAddress(_region(1), warp_stride=128, iter_stride=12288,
+                               footprint_bytes=8 * MB),
+                weight=3,
+            ),
+            LoadSpec(
+                "taps", 0x248,
+                BroadcastAddress(_region(2), region_bytes=1 * KB),
+                weight=1,
+            ),
+        ),
+        iterations=30,
+        waves=2,
+        alu_per_load=5,
+        store=StoreSpec("row_out", 0x2A0, StridedAddress(_region(3), warp_stride=128, iter_stride=12288)),
+        description="separable filter over image rows",
+    )
+
+
+def _st() -> WorkloadSpec:
+    """Stencil: large-stride neighbour reads with jitter that degrades
+    prefetch accuracy (the paper's worst case for APRES energy)."""
+    return WorkloadSpec(
+        name="Stencil",
+        abbr="ST",
+        suite="Parboil",
+        category=Category.COMPUTE,
+        loads=(
+            LoadSpec(
+                "north", 0x310,
+                StridedAddress(_region(1), warp_stride=16384, iter_stride=128,
+                               footprint_bytes=8 * MB),
+                weight=2,
+            ),
+            LoadSpec(
+                "south", 0x338,
+                StridedAddress(_region(2), warp_stride=16384, iter_stride=128,
+                               footprint_bytes=8 * MB),
+                weight=2,
+            ),
+            LoadSpec(
+                # Boundary halo: the wrap makes the predictor's confirmed
+                # stride periodically wrong, yielding the paper's
+                # wasted-prefetch energy on ST (Section V-F).
+                "halo", 0x360,
+                StridedAddress(_region(3), warp_stride=16384, iter_stride=640,
+                               wrap_bytes=8192, footprint_bytes=8 * MB),
+                weight=1,
+            ),
+        ),
+        iterations=26,
+        waves=2,
+        alu_per_load=8,
+        store=StoreSpec("out", 0x3A0, StridedAddress(_region(4), warp_stride=16384, iter_stride=128)),
+        description="7-point stencil with semi-regular neighbours",
+    )
+
+
+def _hs() -> WorkloadSpec:
+    """HotSpot: compute-bound, working set fits in L1."""
+    return WorkloadSpec(
+        name="HotSpot",
+        abbr="HS",
+        suite="Rodinia",
+        category=Category.COMPUTE,
+        loads=(
+            LoadSpec(
+                "temp", 0x410,
+                StridedAddress(_region(1), warp_stride=256, iter_stride=128,
+                               wrap_bytes=1024, footprint_bytes=512 * KB),
+                weight=1,
+            ),
+            LoadSpec(
+                "power", 0x438,
+                BroadcastAddress(_region(2), region_bytes=8 * KB),
+                weight=1,
+            ),
+        ),
+        iterations=20,
+        waves=3,
+        fresh_waves=False,
+        alu_per_load=14,
+        description="thermal simulation over a tile held in cache",
+    )
+
+
+def _sp() -> WorkloadSpec:
+    """ScalarProd: pure streaming dot products; prefetching is the only lever."""
+    return WorkloadSpec(
+        name="ScalarProd",
+        abbr="SP",
+        suite="CUDA",
+        category=Category.COMPUTE,
+        loads=(
+            LoadSpec(
+                "vec_a", 0x510,
+                StridedAddress(_region(1), warp_stride=128, iter_stride=12288,
+                               footprint_bytes=16 * MB),
+                weight=2,
+            ),
+            LoadSpec(
+                "vec_b", 0x538,
+                StridedAddress(_region(2), warp_stride=128, iter_stride=12288,
+                               footprint_bytes=16 * MB),
+                weight=2,
+            ),
+        ),
+        iterations=20,
+        waves=3,
+        alu_per_load=6,
+        description="grid-stride dot product over long vectors",
+    )
+
+
+#: The full suite keyed by abbreviation, in the paper's Table IV order.
+SUITE: dict[str, WorkloadSpec] = {
+    spec.abbr: spec
+    for spec in (
+        _bfs(), _mum(), _nw(), _spmv(), _km(),
+        _lud(), _srad(), _pa(), _histo(), _bp(),
+        _pf(), _cs(), _st(), _hs(), _sp(),
+    )
+}
+
+
+def workload(abbr: str) -> WorkloadSpec:
+    """Look up a workload by its Table IV abbreviation."""
+    try:
+        return SUITE[abbr]
+    except KeyError:
+        known = ", ".join(SUITE)
+        raise KeyError(f"unknown workload {abbr!r}; known: {known}") from None
+
+
+def cache_sensitive_workloads() -> list[WorkloadSpec]:
+    return [w for w in SUITE.values() if w.category is Category.CACHE_SENSITIVE]
+
+
+def cache_insensitive_workloads() -> list[WorkloadSpec]:
+    return [w for w in SUITE.values() if w.category is Category.CACHE_INSENSITIVE]
+
+
+def compute_workloads() -> list[WorkloadSpec]:
+    return [w for w in SUITE.values() if w.category is Category.COMPUTE]
+
+
+def memory_intensive_workloads() -> list[WorkloadSpec]:
+    return [w for w in SUITE.values() if w.memory_intensive]

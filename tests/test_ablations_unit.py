@@ -1,0 +1,47 @@
+"""Unit-level checks of the ablation sweeps (tiny scale: wiring, not numbers)."""
+
+import pytest
+
+from repro.experiments import ablations
+from repro.experiments.runner import clear_cache
+
+SCALE = 0.05
+APPS = ("KM",)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestSAPComponents:
+    def test_returns_all_variants(self):
+        data = ablations.sap_components(apps=APPS, scale=SCALE)
+        assert set(data["KM"]) == {"laws", "laws+group", "laws+group+self"}
+        assert all(v > 0 for v in data["KM"].values())
+
+
+class TestSweeps:
+    def test_pt_sweep_keys(self):
+        data = ablations.pt_entry_sweep(entries=(1, 10), apps=APPS, scale=SCALE)
+        assert set(data) == {1, 10}
+
+    def test_wgt_sweep_keys(self):
+        data = ablations.wgt_entry_sweep(entries=(3,), apps=APPS, scale=SCALE)
+        assert set(data) == {3}
+
+    def test_self_degree_zero_disables_self_prefetch(self):
+        data = ablations.self_degree_sweep(degrees=(0, 2), apps=APPS, scale=SCALE)
+        assert set(data) == {0, 2}
+        assert all(v > 0 for per_app in data.values() for v in per_app.values())
+
+    def test_l1_sweep_uses_ipc(self):
+        data = ablations.l1_size_sweep(sizes_kb=(16, 128), apps=APPS, scale=SCALE)
+        assert all(0 < v < 3 for per_app in data.values() for v in per_app.values())
+
+    def test_bandwidth_sweep_monotone_direction(self):
+        data = ablations.bandwidth_sweep(service_cycles=(2, 8), apps=APPS, scale=SCALE)
+        # Quadrupling service time cannot make the baseline faster.
+        assert data[2]["KM"] >= data[8]["KM"] - 1e-9

@@ -1,0 +1,97 @@
+"""Per-load characterisation (Table I methodology)."""
+
+from repro.characterize.loads import LoadProfiler
+from repro.mem.request import LoadAccess
+
+
+def feed(profiler, warp, pc, addr, hits, sm=0, cycle=0):
+    lines = tuple(addr - addr % 128 + i * 128 for i in range(len(hits)))
+    access = LoadAccess(sm, warp, pc, addr, lines, hits[0], cycle)
+    profiler.observe(access, list(hits))
+
+
+class TestPercentLoad:
+    def test_share_of_references(self):
+        p = LoadProfiler()
+        for w in range(3):
+            feed(p, w, 0x10, w * 1024, [False])
+        feed(p, 0, 0x20, 0, [False])
+        rows = {r.pc: r for r in p.rows()}
+        assert rows[0x10].pct_load == 0.75
+        assert rows[0x20].pct_load == 0.25
+
+    def test_rows_sorted_by_share(self):
+        p = LoadProfiler()
+        feed(p, 0, 0x10, 0, [False])
+        for w in range(3):
+            feed(p, w, 0x20, w * 1024, [False])
+        rows = p.rows()
+        assert rows[0].pc == 0x20
+
+    def test_top_limits_rows(self):
+        p = LoadProfiler()
+        for pc in (0x10, 0x20, 0x30):
+            feed(p, 0, pc, 0, [False])
+        assert len(p.rows(top=2)) == 2
+
+
+class TestLinesPerRef:
+    def test_full_reuse(self):
+        p = LoadProfiler()
+        for w in range(10):
+            feed(p, w, 0x10, 4096, [False])
+        rows = p.rows()
+        assert rows[0].lines_per_ref == 0.1
+
+    def test_no_reuse(self):
+        p = LoadProfiler()
+        for w in range(10):
+            feed(p, w, 0x10, w * 4096, [False])
+        assert p.rows()[0].lines_per_ref == 1.0
+
+
+class TestMissRate:
+    def test_counts_per_line_outcomes(self):
+        p = LoadProfiler()
+        feed(p, 0, 0x10, 0, [False, True])
+        feed(p, 1, 0x10, 4096, [True, True])
+        assert p.rows()[0].miss_rate == 0.25
+
+
+class TestStride:
+    def test_warp_normalised_stride(self):
+        p = LoadProfiler()
+        for w in range(6):
+            feed(p, w, 0x10, w * 4352, [False])
+        row = p.rows()[0]
+        assert row.top_stride == 4352
+        assert row.pct_stride == 1.0
+
+    def test_skipping_warps_still_normalises(self):
+        p = LoadProfiler()
+        for w in (0, 2, 5):
+            feed(p, w, 0x10, w * 1000, [False])
+        assert p.rows()[0].top_stride == 1000
+
+    def test_mixed_strides_report_mode(self):
+        p = LoadProfiler()
+        addrs = [0, 100, 200, 300, 5000]
+        for w, a in enumerate(addrs):
+            feed(p, w, 0x10, a, [False])
+        row = p.rows()[0]
+        assert row.top_stride == 100
+        assert 0.7 < row.pct_stride < 0.8
+
+    def test_per_sm_streams_do_not_mix(self):
+        p = LoadProfiler()
+        feed(p, 0, 0x10, 0, [False], sm=0)
+        feed(p, 0, 0x10, 10_000, [False], sm=1)
+        feed(p, 1, 0x10, 500, [False], sm=0)
+        assert p.rows()[0].top_stride == 500
+
+    def test_formatted_row(self):
+        p = LoadProfiler()
+        for w in range(3):
+            feed(p, w, 0x110, w * 128, [False])
+        text = p.rows()[0].formatted()
+        assert "0x110" in text

@@ -1,0 +1,69 @@
+"""CLI smoke and behaviour tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_args(self):
+        args = build_parser().parse_args(["run", "KM", "apres", "--scale", "0.1"])
+        assert args.app == "KM"
+        assert args.config == "apres"
+        assert args.scale == 0.1
+
+    def test_rejects_unknown_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "NOPE", "base"])
+
+    def test_rejects_unknown_config(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "KM", "nope"])
+
+    def test_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "5"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "KMeans" in out
+        assert "apres" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "KM", "base", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+        assert "L1 miss rate" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "KM", "laws", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "laws" in out
+        assert "Speedup" in out
+
+    def test_characterize(self, capsys):
+        assert main(["characterize", "KM", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "0xE8" in out
+
+    def test_table2(self, capsys):
+        assert main(["table", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "724" in out
+
+    def test_figure12(self, capsys):
+        assert main(["figure", "12", "--scale", "0.05", "--apps", "KM"]) == 0
+        out = capsys.readouterr().out
+        assert "apres" in out
+
+    def test_figure2(self, capsys):
+        assert main(["figure", "2", "--scale", "0.05", "--apps", "KM"]) == 0
+        out = capsys.readouterr().out
+        assert "Cap+Conf" in out

@@ -1,0 +1,121 @@
+"""Configuration validation and Table III defaults."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import APRESConfig, CacheConfig, DRAMConfig, GPUConfig
+from repro.errors import ConfigError
+
+
+class TestCacheConfig:
+    def test_table3_l1_geometry(self):
+        cfg = GPUConfig().l1
+        assert cfg.size_bytes == 32 * 1024
+        assert cfg.associativity == 8
+        assert cfg.line_size == 128
+        assert cfg.num_mshrs == 64
+        assert cfg.num_sets == 32
+        assert cfg.num_lines == 256
+
+    def test_table3_l2_geometry(self):
+        cfg = GPUConfig().l2
+        assert cfg.size_bytes == 768 * 1024
+        assert cfg.hit_latency == 200
+        assert cfg.num_sets == 768
+
+    def test_size_must_divide_into_ways_and_lines(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=1000, associativity=8)
+
+    def test_non_power_of_two_sets_allowed(self):
+        cfg = CacheConfig(size_bytes=768 * 1024, associativity=8)
+        assert cfg.num_sets == 768
+
+    def test_num_lines_consistency(self):
+        cfg = CacheConfig(size_bytes=16 * 1024, associativity=4)
+        assert cfg.num_lines == cfg.num_sets * cfg.associativity
+
+
+class TestDRAMConfig:
+    def test_table3_defaults(self):
+        cfg = GPUConfig().dram
+        assert cfg.num_partitions == 6
+        assert cfg.latency == 440
+
+
+class TestGPUConfig:
+    def test_table3_defaults(self):
+        cfg = GPUConfig()
+        assert cfg.num_sms == 15
+        assert cfg.max_warps_per_sm == 48
+        assert cfg.warp_size == 32
+        assert cfg.issue_latency == 8
+
+    def test_rejects_zero_sms(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(num_sms=0)
+
+    def test_rejects_zero_warps(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(max_warps_per_sm=0)
+
+    def test_rejects_zero_issue_latency(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(issue_latency=0)
+
+    def test_frozen(self):
+        cfg = GPUConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.num_sms = 1  # type: ignore[misc]
+
+    def test_hashable_for_memoisation(self):
+        assert hash(GPUConfig()) == hash(GPUConfig())
+        assert GPUConfig() == GPUConfig()
+
+
+class TestScaled:
+    def test_scales_dram_service_inversely_with_sms(self):
+        full = GPUConfig()
+        small = full.scaled(3)
+        assert small.num_sms == 3
+        assert small.dram.service_cycles == full.dram.service_cycles * 5
+
+    def test_scales_l2_service(self):
+        full = GPUConfig()
+        small = full.scaled(5)
+        assert small.l2.service_cycles == full.l2.service_cycles * 3
+
+    def test_identity_scale(self):
+        full = GPUConfig()
+        assert full.scaled(15).dram.service_cycles == full.dram.service_cycles
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            GPUConfig().scaled(0)
+
+    def test_latencies_unchanged(self):
+        small = GPUConfig().scaled(1)
+        assert small.dram.latency == 440
+        assert small.l2.hit_latency == 200
+
+
+class TestWithL1Size:
+    def test_figure2_large_cache(self):
+        big = GPUConfig().with_l1_size(32 * 1024 * 1024)
+        assert big.l1.size_bytes == 32 * 1024 * 1024
+        assert big.l1.associativity == GPUConfig().l1.associativity
+
+    def test_other_fields_untouched(self):
+        big = GPUConfig().with_l1_size(64 * 1024)
+        assert big.l2 == GPUConfig().l2
+        assert big.num_sms == 15
+
+
+class TestAPRESConfig:
+    def test_table2_geometry(self):
+        cfg = APRESConfig()
+        assert cfg.wgt_entries == 3
+        assert cfg.pt_entries == 10
+        assert cfg.drq_entries == 32
+        assert cfg.wq_entries == 48

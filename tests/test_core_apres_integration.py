@@ -1,0 +1,71 @@
+"""APRES end-to-end behaviour on controlled kernels."""
+
+from conftest import make_config
+from repro.core.apres import build_apres
+from repro.isa.address import BroadcastAddress, StridedAddress
+from repro.isa.instructions import alu, load
+from repro.isa.program import KernelSpec
+from repro.prefetch.none import NullPrefetcher
+from repro.sched.lrr import LRRScheduler
+from repro.sm.simulator import simulate
+
+GB = 1 << 30
+
+
+def apres_engine():
+    pair = build_apres()
+    return pair.scheduler, pair.prefetcher
+
+
+def strided_kernel(iterations=12):
+    """Perfect inter-warp stride: SAP's best case."""
+    gen = StridedAddress(GB, warp_stride=4096, iter_stride=128,
+                         footprint_bytes=256 << 20)
+    return KernelSpec("strided", [load(0x10, gen), alu(0x18)], iterations)
+
+
+def shared_kernel(iterations=12):
+    """Warp-invariant, iteration-invariant load: pure reuse, zero stride."""
+    gen = StridedAddress(GB, warp_stride=0, iter_stride=0)
+    return KernelSpec("shared", [load(0x10, gen), alu(0x18)], iterations)
+
+
+class TestSAPCoverage:
+    def test_strided_kernel_gets_group_prefetches(self, tiny_config):
+        result = simulate(strided_kernel(), tiny_config, apres_engine)
+        l1 = result.stats.l1
+        assert l1.prefetch_issued > 0
+        covered = l1.prefetch_useful + l1.prefetch_demand_merged
+        assert covered > 0
+
+    def test_shared_kernel_never_prefetches(self, tiny_config):
+        # Both strides are zero: every adaptive gate must hold fire
+        # (the paper's high-locality class is scheduled, not prefetched).
+        result = simulate(shared_kernel(), tiny_config, apres_engine)
+        assert result.stats.l1.prefetch_issued == 0
+
+    def test_apres_not_slower_than_laws_alone_on_strided(self, tiny_config):
+        laws_only = simulate(
+            strided_kernel(), tiny_config,
+            lambda: (build_apres().scheduler, NullPrefetcher()),
+        )
+        apres = simulate(strided_kernel(), tiny_config, apres_engine)
+        assert apres.cycles <= laws_only.cycles * 1.05
+
+    def test_engine_events_counted(self, tiny_config):
+        result = simulate(strided_kernel(), tiny_config, apres_engine)
+        assert result.engine_events > 0
+
+
+class TestAgainstBaseline:
+    def test_apres_completes_same_work(self, tiny_config):
+        base = simulate(strided_kernel(), tiny_config,
+                        lambda: (LRRScheduler(), NullPrefetcher()))
+        apres = simulate(strided_kernel(), tiny_config, apres_engine)
+        assert apres.stats.instructions == base.stats.instructions
+
+    def test_apres_deterministic(self, tiny_config):
+        a = simulate(strided_kernel(), tiny_config, apres_engine)
+        b = simulate(strided_kernel(), tiny_config, apres_engine)
+        assert a.cycles == b.cycles
+        assert a.stats.l1.prefetch_issued == b.stats.l1.prefetch_issued

@@ -1,0 +1,34 @@
+"""Table II hardware cost model."""
+
+from repro.config import APRESConfig, CacheConfig
+from repro.core.cost import hardware_cost
+
+
+class TestTable2:
+    def test_paper_totals(self):
+        cost = hardware_cost()
+        assert cost.llt_bytes == 4 * 48 == 192
+        assert cost.wgt_bytes == 18  # 3 x 48 bits
+        assert cost.laws_bytes == 210
+        assert cost.drq_bytes == 8 * 32 == 256
+        assert cost.wq_bytes == 48
+        assert cost.pt_bytes == 21 * 10 == 210
+        assert cost.sap_bytes == 514
+        assert cost.total_bytes == 724
+
+    def test_fraction_of_l1(self):
+        cost = hardware_cost()
+        l1 = CacheConfig(size_bytes=32 * 1024, associativity=8)
+        frac = cost.fraction_of_cache(l1)
+        assert 0.02 < frac < 0.025  # paper reports 2.06% including CACTI overheads
+
+    def test_scales_with_geometry(self):
+        small = hardware_cost(APRESConfig(pt_entries=5), max_warps=48)
+        assert small.pt_bytes == 105
+        fewer_warps = hardware_cost(max_warps=24)
+        assert fewer_warps.llt_bytes == 96
+        assert fewer_warps.wgt_bytes == 9
+
+    def test_wgt_rounds_up_to_bytes(self):
+        odd = hardware_cost(APRESConfig(wgt_entries=1), max_warps=3)
+        assert odd.wgt_bytes == 1

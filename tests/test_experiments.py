@@ -1,0 +1,154 @@
+"""Experiment harness: configs, runner memoisation, figure producers.
+
+Figure producers run at a very small scale here — these are wiring tests,
+not reproduction runs (the benchmarks regenerate the real numbers).
+"""
+
+import pytest
+
+from repro.core.laws import LAWSScheduler
+from repro.core.sap import SAPPrefetcher
+from repro.experiments.configs import CONFIGS, EngineSpec, experiment_gpu_config
+from repro.experiments.report import format_table
+from repro.experiments.runner import clear_cache, run, speedup
+from repro.experiments import figures
+
+SCALE = 0.05  # a handful of iterations per warp
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestConfigs:
+    def test_registry_contains_paper_configs(self):
+        for name in ("base", "ccws", "laws", "ccws+str", "laws+str", "apres",
+                     "gto+sld", "mascar+str", "pa+sld"):
+            assert name in CONFIGS
+
+    def test_base_is_lrr_no_prefetch(self):
+        sched, pf = CONFIGS["base"].build()
+        assert sched.name == "lrr"
+        assert pf.name == "none"
+
+    def test_apres_builds_coupled_pair(self):
+        sched, pf = CONFIGS["apres"].build()
+        assert isinstance(sched, LAWSScheduler)
+        assert isinstance(pf, SAPPrefetcher)
+        assert pf._laws is sched
+
+    def test_laws_str_builds_uncoupled(self):
+        sched, pf = CONFIGS["laws+str"].build()
+        assert isinstance(sched, LAWSScheduler)
+        assert pf.name == "str"
+
+    def test_each_build_is_fresh(self):
+        a = CONFIGS["ccws"].build()[0]
+        b = CONFIGS["ccws"].build()[0]
+        assert a is not b
+
+    def test_engine_spec_names(self):
+        assert EngineSpec("ccws", "str").name == "ccws+str"
+        assert EngineSpec("ccws").name == "ccws"
+        assert EngineSpec("apres").name == "apres"
+
+    def test_scaled_config(self):
+        cfg = experiment_gpu_config(num_sms=2)
+        assert cfg.num_sms == 2
+        assert cfg.dram.service_cycles > cfg.scaled(15).dram.service_cycles
+
+
+class TestRunner:
+    def test_run_returns_result(self):
+        r = run("KM", "base", scale=SCALE)
+        assert r.workload == "KM"
+        assert r.cycles > 0
+        assert r.energy.total > 0
+
+    def test_memoised(self):
+        a = run("KM", "base", scale=SCALE)
+        b = run("KM", "base", scale=SCALE)
+        assert a is b
+
+    def test_distinct_configs_not_shared(self):
+        a = run("KM", "base", scale=SCALE)
+        b = run("KM", "laws", scale=SCALE)
+        assert a is not b
+
+    def test_unknown_config(self):
+        with pytest.raises(ValueError, match="unknown config"):
+            run("KM", "nope", scale=SCALE)
+
+    def test_speedup_of_baseline_is_one(self):
+        assert speedup("KM", "base", scale=SCALE) == 1.0
+
+
+class TestFigures:
+    APPS = ["KM", "PA"]
+
+    def test_geomean(self):
+        assert figures.geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert figures.geomean([]) == 0.0
+
+    def test_table1_rows(self):
+        rows = figures.table1(apps=["KM"], scale=SCALE)
+        assert 0xE8 in {r.pc for r in rows["KM"]}
+
+    def test_table2(self):
+        assert figures.table2().total_bytes == 724
+
+    def test_figure2_shapes(self):
+        data = figures.figure2(apps=self.APPS, scale=SCALE)
+        for app in self.APPS:
+            assert set(data[app]) == {"B", "C"}
+            b = data[app]["B"]
+            assert b.speedup == 1.0
+            assert abs(b.cold_ratio + b.capacity_conflict_ratio - b.miss_rate) < 1e-9
+
+    def test_figure2_large_cache_kills_capacity_misses(self):
+        data = figures.figure2(apps=["KM"], scale=0.2)
+        assert data["KM"]["C"].capacity_conflict_ratio < data["KM"]["B"].capacity_conflict_ratio
+
+    def test_figure10_has_gmean(self):
+        data = figures.figure10(apps=self.APPS, scale=SCALE)
+        for config in figures.FIG10_CONFIGS:
+            assert "GMEAN" in data[config]
+            assert data[config]["KM"] > 0
+
+    def test_figure11_stacks_to_one(self):
+        data = figures.figure11(apps=["KM"], scale=SCALE)
+        for row in data["KM"].values():
+            total = row.hit_ratio + row.miss_ratio
+            assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_figure12_configs(self):
+        data = figures.figure12(apps=["KM"], scale=SCALE)
+        assert set(data) == {"ccws+str", "apres"}
+
+    def test_figure13_baseline_normalised(self):
+        data = figures.figure13(apps=["KM"], scale=SCALE)
+        for config, per_app in data.items():
+            assert per_app["KM"] > 0
+
+    def test_figure15_energy(self):
+        data = figures.figure15(apps=["KM"], scale=SCALE)
+        assert 0 < data["apres"]["KM"] < 10
+
+    def test_normalised_metric_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            figures.normalised_metric("bogus", ["apres"], apps=["KM"], scale=SCALE)
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xyz", 3]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "xyz" in lines[4]  # title, header, rule, row 1, row 2
+
+    def test_floats_formatted(self):
+        text = format_table(["v"], [[1.23456]])
+        assert "1.235" in text

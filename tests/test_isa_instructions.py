@@ -1,0 +1,48 @@
+"""Instruction constructors and validation."""
+
+import pytest
+
+from repro.isa.address import BroadcastAddress
+from repro.isa.instructions import Instr, Op, alu, load, store
+
+GEN = BroadcastAddress(1 << 30, region_bytes=1024)
+
+
+class TestConstructors:
+    def test_alu(self):
+        i = alu(0x40)
+        assert i.op is Op.ALU
+        assert i.pc == 0x40
+        assert i.addr_gen is None
+        assert not i.is_mem
+
+    def test_load(self):
+        i = load(0x10, GEN, label="edges")
+        assert i.op is Op.LOAD
+        assert i.addr_gen is GEN
+        assert i.label == "edges"
+        assert i.is_mem
+
+    def test_store(self):
+        i = store(0x20, GEN)
+        assert i.op is Op.STORE
+        assert i.is_mem
+
+
+class TestValidation:
+    def test_alu_rejects_address_generator(self):
+        with pytest.raises(ValueError):
+            Instr(Op.ALU, 0x10, GEN)
+
+    def test_load_requires_address_generator(self):
+        with pytest.raises(ValueError):
+            Instr(Op.LOAD, 0x10)
+
+    def test_store_requires_address_generator(self):
+        with pytest.raises(ValueError):
+            Instr(Op.STORE, 0x10)
+
+    def test_frozen(self):
+        i = alu(0x10)
+        with pytest.raises(AttributeError):
+            i.pc = 0x20  # type: ignore[misc]

@@ -1,0 +1,56 @@
+"""Kernel specifications."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.isa.address import BroadcastAddress
+from repro.isa.instructions import alu, load
+from repro.isa.program import KernelSpec
+
+GEN = BroadcastAddress(1 << 30, region_bytes=1024)
+
+
+def body():
+    return [load(0x10, GEN), alu(0x18), load(0x20, GEN), alu(0x28)]
+
+
+class TestKernelSpec:
+    def test_basic_fields(self):
+        k = KernelSpec("k", body(), 5)
+        assert k.name == "k"
+        assert len(k.body) == 4
+        assert k.iterations == 5
+        assert k.waves == 1
+        assert k.fresh_waves
+
+    def test_instructions_per_warp(self):
+        k = KernelSpec("k", body(), 5, waves=3)
+        assert k.instructions_per_warp == 4 * 5 * 3
+
+    def test_loads_unique_by_pc(self):
+        dup = [load(0x10, GEN), load(0x10, GEN), load(0x20, GEN)]
+        k = KernelSpec("k", dup, 1)
+        assert [i.pc for i in k.loads] == [0x10, 0x20]
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(WorkloadError):
+            KernelSpec("k", body(), 0)
+
+    def test_rejects_zero_waves(self):
+        with pytest.raises(WorkloadError):
+            KernelSpec("k", body(), 1, waves=0)
+
+    def test_rejects_empty_body(self):
+        with pytest.raises(WorkloadError):
+            KernelSpec("k", [], 1)
+
+    def test_scaled_rounds_and_floors_at_one(self):
+        k = KernelSpec("k", body(), 10, waves=2, fresh_waves=False)
+        assert k.scaled(0.5).iterations == 5
+        assert k.scaled(0.01).iterations == 1
+        assert k.scaled(0.5).waves == 2
+        assert not k.scaled(0.5).fresh_waves
+
+    def test_scaled_preserves_body(self):
+        k = KernelSpec("k", body(), 10)
+        assert k.scaled(2.0).body == k.body

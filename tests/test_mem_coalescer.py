@@ -1,0 +1,56 @@
+"""Memory request coalescing."""
+
+from hypothesis import given, strategies as st
+
+from repro.mem.coalescer import coalesce
+
+LINE = 128
+
+
+class TestCoalesce:
+    def test_same_line_merges_to_one(self):
+        assert coalesce([0, 4, 8, 127], LINE) == [0]
+
+    def test_consecutive_lines(self):
+        assert coalesce([0, 128, 256], LINE) == [0, 128, 256]
+
+    def test_alignment(self):
+        assert coalesce([130, 140], LINE) == [128]
+
+    def test_fully_divergent(self):
+        addrs = [i * 1024 for i in range(32)]
+        assert len(coalesce(addrs, LINE)) == 32
+
+    def test_primary_first(self):
+        # The lowest lane's segment must come first (SAP's DRQ rule).
+        assert coalesce([512, 0, 512], LINE)[0] == 512
+
+    def test_empty(self):
+        assert coalesce([], LINE) == []
+
+    def test_straddling_boundary(self):
+        assert coalesce([120, 130], LINE) == [0, 128]
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 30), min_size=1, max_size=64))
+def test_property_all_lines_aligned(addrs):
+    for line in coalesce(addrs, LINE):
+        assert line % LINE == 0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 30), min_size=1, max_size=64))
+def test_property_covers_every_address(addrs):
+    lines = set(coalesce(addrs, LINE))
+    for a in addrs:
+        assert a - (a % LINE) in lines
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 30), min_size=1, max_size=64))
+def test_property_no_duplicates(addrs):
+    lines = coalesce(addrs, LINE)
+    assert len(lines) == len(set(lines))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 30), min_size=1, max_size=64))
+def test_property_never_more_lines_than_addresses(addrs):
+    assert len(coalesce(addrs, LINE)) <= len(addrs)

@@ -1,0 +1,101 @@
+"""Event queue and memory-subsystem wiring."""
+
+from conftest import make_config
+from repro.mem.cache import AccessOutcome
+from repro.mem.subsystem import EventQueue, MemorySubsystem
+from repro.stats.counters import SimStats
+
+
+class TestEventQueue:
+    def test_runs_due_events_in_time_order(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(10, lambda t: seen.append(("a", t)))
+        q.schedule(5, lambda t: seen.append(("b", t)))
+        q.run_until(10)
+        assert seen == [("b", 5), ("a", 10)]
+
+    def test_fifo_tie_break(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(5, lambda t: seen.append("first"))
+        q.schedule(5, lambda t: seen.append("second"))
+        q.run_until(5)
+        assert seen == ["first", "second"]
+
+    def test_future_events_stay_queued(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(10, lambda t: seen.append(t))
+        q.run_until(9)
+        assert seen == []
+        assert len(q) == 1
+        assert q.next_event_cycle == 10
+
+    def test_empty_queue(self):
+        q = EventQueue()
+        assert q.next_event_cycle is None
+        q.run_until(100)  # no-op
+
+
+class TestMemorySubsystem:
+    def make(self, num_sms=2):
+        cfg = make_config(num_sms=num_sms)
+        stats = SimStats()
+        return MemorySubsystem(cfg, stats), stats, cfg
+
+    def test_one_l1_per_sm(self):
+        sub, _, cfg = self.make(num_sms=3)
+        assert len(sub.l1s) == 3
+
+    def test_miss_schedules_fill_event(self):
+        sub, stats, cfg = self.make()
+        outcome, _ = sub.l1s[0].access(0, 0, 0)
+        assert outcome is AccessOutcome.MISS
+        assert len(sub.events) == 1
+        # Fill arrives after L2-miss latency; line is then resident.
+        sub.events.run_until(10_000)
+        assert sub.l1s[0].contains(0)
+
+    def test_l1s_are_private(self):
+        sub, _, _ = self.make()
+        sub.l1s[0].access(0, 0, 0)
+        sub.events.run_until(10_000)
+        assert sub.l1s[0].contains(0)
+        assert not sub.l1s[1].contains(0)
+
+    def test_second_sm_hits_shared_l2(self):
+        sub, stats, _ = self.make()
+        sub.l1s[0].access(0, 0, 0)
+        sub.events.run_until(10_000)
+        sub.l1s[1].access(0, 0, 20_000)
+        assert stats.memory.l2_accesses == 2
+        assert stats.memory.l2_hits == 1
+        assert stats.memory.dram_requests == 1
+
+    def test_fill_latency_recorded(self):
+        sub, stats, _ = self.make()
+        sub.l1s[0].access(0, 0, 0)
+        sub.events.run_until(10_000)
+        assert stats.memory.demand_latency_count == 1
+        assert stats.memory.demand_latency_sum >= 100  # DRAM latency floor
+
+    def test_hit_latency_recorded_via_hook(self):
+        sub, stats, _ = self.make()
+        sub.record_hit_latency(4)
+        assert stats.memory.demand_latency_sum == 4
+        assert stats.memory.demand_latency_count == 1
+
+    def test_store_invalidates_and_counts(self):
+        sub, stats, _ = self.make()
+        sub.l1s[0].access(0, 0, 0)
+        sub.events.run_until(10_000)
+        sub.store(0, [0], 20_000)
+        assert not sub.l1s[0].contains(0)
+        assert stats.memory.bytes_stored == 128
+
+    def test_traffic_counted_per_fill(self):
+        sub, stats, _ = self.make()
+        sub.l1s[0].access(0, 0, 0)
+        sub.l1s[0].access(1024, 0, 0)
+        assert stats.memory.bytes_l2_to_l1 == 256

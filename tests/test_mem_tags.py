@@ -1,0 +1,114 @@
+"""Tag array LRU semantics, including a hypothesis model check."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheConfig
+from repro.mem.tags import LineMeta, TagArray
+
+
+def small_tags(sets=4, ways=2):
+    cfg = CacheConfig(size_bytes=sets * ways * 128, associativity=ways)
+    return TagArray(cfg), cfg
+
+
+def line(set_idx, tag, num_sets=4):
+    return (tag * num_sets + set_idx) * 128
+
+
+class TestProbeInsert:
+    def test_miss_on_empty(self):
+        tags, _ = small_tags()
+        assert tags.probe(0) is None
+
+    def test_hit_after_insert(self):
+        tags, _ = small_tags()
+        tags.insert(0, LineMeta())
+        assert tags.probe(0) is not None
+
+    def test_insert_returns_victim_when_full(self):
+        tags, _ = small_tags(sets=1, ways=2)
+        assert tags.insert(line(0, 0, 1), LineMeta()) is None
+        assert tags.insert(line(0, 1, 1), LineMeta()) is None
+        victim = tags.insert(line(0, 2, 1), LineMeta())
+        assert victim is not None
+        assert victim[0] == line(0, 0, 1)
+
+    def test_lru_promotion_on_probe(self):
+        tags, _ = small_tags(sets=1, ways=2)
+        a, b, c = line(0, 0, 1), line(0, 1, 1), line(0, 2, 1)
+        tags.insert(a, LineMeta())
+        tags.insert(b, LineMeta())
+        tags.probe(a)  # promote a to MRU; b becomes LRU
+        victim = tags.insert(c, LineMeta())
+        assert victim[0] == b
+
+    def test_probe_without_lru_update(self):
+        tags, _ = small_tags(sets=1, ways=2)
+        a, b, c = line(0, 0, 1), line(0, 1, 1), line(0, 2, 1)
+        tags.insert(a, LineMeta())
+        tags.insert(b, LineMeta())
+        tags.probe(a, update_lru=False)
+        victim = tags.insert(c, LineMeta())
+        assert victim[0] == a
+
+    def test_reinsert_resident_replaces_meta(self):
+        tags, _ = small_tags()
+        tags.insert(0, LineMeta(filler_warp=1))
+        assert tags.insert(0, LineMeta(filler_warp=2)) is None
+        assert tags.probe(0).filler_warp == 2
+        assert tags.occupancy() == 1
+
+    def test_sets_are_independent(self):
+        tags, _ = small_tags(sets=4, ways=1)
+        tags.insert(line(0, 0), LineMeta())
+        tags.insert(line(1, 0), LineMeta())
+        assert tags.occupancy() == 2
+        assert tags.probe(line(0, 0)) is not None
+
+
+class TestInvalidate:
+    def test_invalidate_removes(self):
+        tags, _ = small_tags()
+        tags.insert(0, LineMeta())
+        assert tags.invalidate(0) is not None
+        assert tags.probe(0) is None
+
+    def test_invalidate_missing_is_none(self):
+        tags, _ = small_tags()
+        assert tags.invalidate(128) is None
+
+
+class TestResidentLines:
+    def test_enumerates_all(self):
+        tags, _ = small_tags()
+        lines = {line(0, 0), line(1, 0), line(2, 1)}
+        for addr in lines:
+            tags.insert(addr, LineMeta())
+        assert set(tags.resident_lines()) == lines
+
+
+@settings(max_examples=200)
+@given(st.lists(st.integers(min_value=0, max_value=31), min_size=1, max_size=200))
+def test_property_matches_reference_lru(accesses):
+    """TagArray behaves exactly like a per-set OrderedDict LRU model."""
+    sets, ways = 2, 4
+    tags, _ = small_tags(sets=sets, ways=ways)
+    model = [OrderedDict() for _ in range(sets)]
+    for tag in accesses:
+        addr = tag * 128
+        s = (addr // 128) % sets
+        if tags.probe(addr) is None:
+            tags.insert(addr, LineMeta())
+            if tag in model[s]:
+                raise AssertionError("model hit but tags missed")
+            if len(model[s]) >= ways:
+                model[s].popitem(last=False)
+            model[s][tag] = None
+        else:
+            assert tag in model[s]
+            model[s].move_to_end(tag)
+    for s in range(sets):
+        resident = {a // 128 for a in tags.resident_lines() if (a // 128) % sets == s}
+        assert resident == set(model[s])

@@ -1,0 +1,54 @@
+"""CCWS victim tag array (lost-locality detector)."""
+
+from hypothesis import given, strategies as st
+
+from repro.mem.victim import VictimTagArray
+
+
+class TestVTA:
+    def test_probe_empty_misses(self):
+        vta = VictimTagArray()
+        assert not vta.probe(0x100)
+
+    def test_probe_after_eviction_hits(self):
+        vta = VictimTagArray()
+        vta.record_eviction(0x100)
+        assert vta.probe(0x100)
+
+    def test_probe_consumes_entry(self):
+        vta = VictimTagArray()
+        vta.record_eviction(0x100)
+        assert vta.probe(0x100)
+        assert not vta.probe(0x100)
+
+    def test_lru_replacement(self):
+        vta = VictimTagArray(num_sets=1, associativity=2)
+        vta.record_eviction(0 * 128)
+        vta.record_eviction(1 * 128)
+        vta.record_eviction(2 * 128)  # evicts line 0
+        assert not vta.probe(0)
+        assert vta.probe(1 * 128)
+        assert vta.probe(2 * 128)
+
+    def test_rerecord_promotes(self):
+        vta = VictimTagArray(num_sets=1, associativity=2)
+        vta.record_eviction(0 * 128)
+        vta.record_eviction(1 * 128)
+        vta.record_eviction(0 * 128)  # promote
+        vta.record_eviction(2 * 128)  # evicts 1
+        assert vta.probe(0)
+        assert not vta.probe(1 * 128)
+
+    def test_occupancy_bounded(self):
+        vta = VictimTagArray(num_sets=2, associativity=2)
+        for i in range(100):
+            vta.record_eviction(i * 128)
+        assert vta.occupancy() <= 4
+
+
+@given(st.lists(st.integers(min_value=0, max_value=63), max_size=200))
+def test_property_occupancy_never_exceeds_capacity(evictions):
+    vta = VictimTagArray(num_sets=4, associativity=4)
+    for tag in evictions:
+        vta.record_eviction(tag * 128)
+        assert vta.occupancy() <= 16

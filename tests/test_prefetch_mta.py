@@ -1,0 +1,63 @@
+"""MTA per-warp stride prefetcher."""
+
+import pytest
+
+from repro.mem.request import LoadAccess
+from repro.prefetch.mta import MTAPrefetcher
+
+
+def access(pc, addr, warp=0):
+    return LoadAccess(0, warp, pc, addr, (addr - addr % 128,), False, 0)
+
+
+class TestMTA:
+    def test_confirmation_then_fire(self):
+        p = MTAPrefetcher(degree=2)
+        assert p.observe_load(access(0x10, 0)) == []
+        assert p.observe_load(access(0x10, 4096)) == []
+        out = p.observe_load(access(0x10, 8192))
+        assert [c.addr for c in out] == [12288, 16384]
+        assert all(c.target_warp == 0 for c in out)
+
+    def test_streams_are_per_warp(self):
+        p = MTAPrefetcher(degree=1)
+        for addr in (0, 4096, 8192):
+            p.observe_load(access(0x10, addr, warp=0))
+        # Warp 1 interleaved on the same PC does not disturb warp 0.
+        assert p.observe_load(access(0x10, 999, warp=1)) == []
+        out = p.observe_load(access(0x10, 12288, warp=0))
+        assert [c.addr for c in out] == [16384]
+
+    def test_survives_greedy_interleaving(self):
+        """STR's per-PC entry is destroyed by greedy warp interleaving;
+        MTA is not — the reason it exists."""
+        p = MTAPrefetcher(degree=1)
+        fired = []
+        for i in range(4):
+            for w in (0, 1):
+                fired += p.observe_load(access(0x10, w * 1_000_000 + i * 128, warp=w))
+        assert fired  # both warps' streams confirm
+
+    def test_zero_stride_suppressed(self):
+        p = MTAPrefetcher(degree=1)
+        for _ in range(4):
+            out = p.observe_load(access(0x10, 512))
+        assert out == []
+
+    def test_capacity_lru(self):
+        p = MTAPrefetcher(table_entries=2, degree=1)
+        p.observe_load(access(0x10, 0, warp=0))
+        p.observe_load(access(0x10, 0, warp=1))
+        p.observe_load(access(0x10, 0, warp=2))  # evicts warp 0's stream
+        assert p.stride_for(0x10, 0) is None
+
+    def test_reset(self):
+        p = MTAPrefetcher()
+        p.observe_load(access(0x10, 0))
+        p.observe_load(access(0x10, 128))
+        p.reset(8)
+        assert p.stride_for(0x10, 0) is None
+
+    def test_rejects_zero_degree(self):
+        with pytest.raises(ValueError):
+            MTAPrefetcher(degree=0)

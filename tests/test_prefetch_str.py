@@ -1,0 +1,89 @@
+"""STR per-PC stride prefetcher."""
+
+import pytest
+
+from repro.mem.request import LoadAccess
+from repro.prefetch.stride import STRPrefetcher
+
+
+def access(pc, addr, warp=0, hit=False, cycle=0):
+    return LoadAccess(0, warp, pc, addr, (addr - addr % 128,), hit, cycle)
+
+
+class TestStrideDetection:
+    def test_needs_confirmation_before_prefetching(self):
+        p = STRPrefetcher(degree=1)
+        assert p.observe_load(access(0x10, 0)) == []
+        assert p.observe_load(access(0x10, 512)) == []  # stride learned
+        out = p.observe_load(access(0x10, 1024))        # stride confirmed
+        assert [c.addr for c in out] == [1536]
+
+    def test_degree(self):
+        p = STRPrefetcher(degree=3)
+        for addr in (0, 512, 1024):
+            out = p.observe_load(access(0x10, addr))
+        assert [c.addr for c in out] == [1536, 2048, 2560]
+
+    def test_stride_change_suppresses(self):
+        p = STRPrefetcher(degree=1)
+        for addr in (0, 512, 1024):
+            p.observe_load(access(0x10, addr))
+        assert p.observe_load(access(0x10, 9000)) == []
+
+    def test_readapts_after_change(self):
+        p = STRPrefetcher(degree=1)
+        for addr in (0, 512, 1024, 9000, 9100):
+            out = p.observe_load(access(0x10, addr))
+        out = p.observe_load(access(0x10, 9200))
+        assert [c.addr for c in out] == [9300]
+
+    def test_zero_stride_never_fires(self):
+        p = STRPrefetcher(degree=1)
+        for _ in range(5):
+            out = p.observe_load(access(0x10, 4096))
+        assert out == []
+
+    def test_negative_stride(self):
+        p = STRPrefetcher(degree=1)
+        for addr in (10000, 8000, 6000):
+            out = p.observe_load(access(0x10, addr))
+        assert [c.addr for c in out] == [4000]
+
+    def test_pcs_tracked_independently(self):
+        p = STRPrefetcher(degree=1)
+        for addr in (0, 512):
+            p.observe_load(access(0x10, addr))
+        for addr in (0, 99):
+            p.observe_load(access(0x20, addr))
+        out = p.observe_load(access(0x10, 1024))
+        assert [c.addr for c in out] == [1536]
+        assert p.stride_for(0x20) == 99
+
+    def test_table_capacity_lru(self):
+        p = STRPrefetcher(table_entries=2)
+        p.observe_load(access(0x10, 0))
+        p.observe_load(access(0x20, 0))
+        p.observe_load(access(0x30, 0))  # evicts 0x10
+        assert p.stride_for(0x10) is None
+
+    def test_reset_clears(self):
+        p = STRPrefetcher()
+        p.observe_load(access(0x10, 0))
+        p.observe_load(access(0x10, 512))
+        p.reset(8)
+        assert p.stride_for(0x10) is None
+
+    def test_rejects_zero_degree(self):
+        with pytest.raises(ValueError):
+            STRPrefetcher(degree=0)
+
+
+class TestInterWarpUnderRoundRobin:
+    def test_detects_warp_stride(self):
+        """Consecutive executions by successive warps expose the inter-warp
+        stride — the Section III-C scenario."""
+        p = STRPrefetcher(degree=2)
+        out = []
+        for w in range(4):
+            out = p.observe_load(access(0x10, w * 4352, warp=w))
+        assert [c.addr for c in out] == [4 * 4352, 5 * 4352]

@@ -1,0 +1,56 @@
+"""Additional formatting and figure-producer edge cases."""
+
+import pytest
+
+from repro.experiments.report import format_table
+from repro.experiments import figures
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        lines = text.splitlines()
+        assert len(lines) == 2  # header + rule
+
+    def test_wide_cell_stretches_column(self):
+        text = format_table(["x"], [["very-long-cell-content"]])
+        header, rule, row = text.splitlines()
+        assert len(rule) == len("very-long-cell-content")
+
+    def test_no_title_has_no_blank_first_line(self):
+        text = format_table(["a"], [[1]])
+        assert text.splitlines()[0].startswith("a")
+
+    def test_mixed_types(self):
+        text = format_table(["a"], [[None], [True], [1.5]])
+        assert "None" in text
+        assert "True" in text
+        assert "1.500" in text
+
+
+class TestGeomean:
+    def test_single(self):
+        assert figures.geomean([2.0]) == pytest.approx(2.0)
+
+    def test_ignores_nonpositive(self):
+        assert figures.geomean([4.0, 0.0, -3.0]) == pytest.approx(4.0)
+
+    def test_scale_invariance(self):
+        a = figures.geomean([1.0, 2.0, 4.0])
+        b = figures.geomean([2.0, 4.0, 8.0])
+        assert b == pytest.approx(2 * a)
+
+
+class TestFigureConstants:
+    def test_fig10_configs_are_registered(self):
+        from repro.experiments.configs import CONFIGS
+
+        for name in figures.FIG10_CONFIGS + figures.FIG3_CONFIGS + figures.FIG4_CONFIGS:
+            assert name in CONFIGS, name
+
+    def test_fig11_labels(self):
+        assert list(figures.FIG11_CONFIGS) == ["B", "C", "L", "S", "A"]
+
+    def test_app_axes(self):
+        assert len(figures.ALL_APPS) == 15
+        assert len(figures.MEMORY_APPS) == 10

@@ -1,0 +1,64 @@
+"""Event fast-forwarding must not change observable timing."""
+
+import dataclasses
+
+from conftest import make_config, mixed_kernel
+from repro.errors import SimulationError
+from repro.isa.address import StridedAddress
+from repro.isa.instructions import alu, load
+from repro.isa.program import KernelSpec
+from repro.prefetch.none import NullPrefetcher
+from repro.sched.lrr import LRRScheduler
+from repro.sm.simulator import GPUSimulator, simulate
+
+import pytest
+
+GB = 1 << 30
+
+
+def lrr():
+    return LRRScheduler(), NullPrefetcher()
+
+
+class TestFastForward:
+    def test_idle_cycles_accounted_when_skipping(self, tiny_config):
+        # One warp, one long-latency load: almost the entire run is skip.
+        cfg = make_config(max_warps=1)
+        gen = StridedAddress(GB, warp_stride=0, iter_stride=4096)
+        kernel = KernelSpec("k", [load(0x10, gen)], 3)
+        result = simulate(kernel, cfg, lrr)
+        s = result.stats
+        # Total issue opportunities = cycles; issued = instructions.
+        assert s.idle_cycles + s.instructions == pytest.approx(s.cycles, abs=2)
+
+    def test_alu_only_kernel_never_needs_events(self, tiny_config):
+        cfg = make_config(max_warps=2)
+        kernel = KernelSpec("k", [alu(0x8), alu(0x10)], 5)
+        result = simulate(kernel, cfg, lrr)
+        assert result.stats.l1.accesses == 0
+        assert result.cycles > 0
+
+    def test_deadlock_detection_on_impossible_state(self, tiny_config):
+        """A warp stuck waiting forever (simulated by a scheduler that
+        never issues) must raise rather than loop."""
+
+        class NeverIssue(LRRScheduler):
+            def select(self, candidates, cycle):
+                return None
+
+        cfg = make_config(max_warps=1)
+        kernel = KernelSpec("k", [alu(0x8)], 1)
+        sim = GPUSimulator(kernel, cfg, lambda: (NeverIssue(), NullPrefetcher()))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_skip_equivalence_with_dense_alu_gaps(self, tiny_config):
+        """Dependent-issue gaps are skipped; results must match a config
+        that can never skip (issue_latency=1 changes timing, so instead we
+        verify determinism and exact instruction accounting)."""
+        cfg = make_config(max_warps=3)
+        kernel = mixed_kernel(5)
+        a = simulate(kernel, cfg, lrr)
+        b = simulate(kernel, cfg, lrr)
+        assert a.cycles == b.cycles
+        assert a.stats.idle_cycles == b.stats.idle_cycles

@@ -1,0 +1,163 @@
+"""SM pipeline mechanics: issue, LSU feedback, replay, prefetch wiring."""
+
+import dataclasses
+
+from conftest import make_config
+from repro.isa.address import BroadcastAddress, StridedAddress
+from repro.isa.instructions import alu, load, store
+from repro.isa.program import KernelSpec
+from repro.mem.request import LoadAccess
+from repro.prefetch.base import Prefetcher, PrefetchCandidate
+from repro.prefetch.none import NullPrefetcher
+from repro.sched.lrr import LRRScheduler
+from repro.sm.simulator import GPUSimulator, simulate
+
+GB = 1 << 30
+
+
+class RecordingScheduler(LRRScheduler):
+    """LRR that logs every LSU feedback event."""
+
+    def __init__(self):
+        super().__init__()
+        self.load_results: list[LoadAccess] = []
+        self.prefetch_targets: list[int] = []
+        self.mem_completes: list[int] = []
+
+    def notify_load_result(self, access):
+        self.load_results.append(access)
+
+    def notify_prefetch_targets(self, targets):
+        self.prefetch_targets.extend(targets)
+
+    def notify_mem_complete(self, warp_id, cycle):
+        self.mem_completes.append(warp_id)
+
+
+class OneShotPrefetcher(Prefetcher):
+    """Prefetches a fixed target once, for wiring tests."""
+
+    name = "oneshot"
+
+    def __init__(self, addr, target):
+        super().__init__()
+        self._addr = addr
+        self._target = target
+        self._fired = False
+
+    def observe_load(self, access):
+        if self._fired:
+            return []
+        self._fired = True
+        return [PrefetchCandidate(self._addr, target_warp=self._target)]
+
+
+def one_warp_config():
+    return make_config(max_warps=1)
+
+
+class TestLSUFeedback:
+    def test_one_feedback_per_load(self):
+        cfg = make_config(max_warps=2)
+        gen = BroadcastAddress(GB, region_bytes=1024)
+        kernel = KernelSpec("k", [load(0x10, gen), alu(0x18)], 3)
+        sched = RecordingScheduler()
+        sim = GPUSimulator(kernel, cfg, lambda: (sched, NullPrefetcher()))
+        sim.run()
+        assert len(sched.load_results) == 2 * 3  # warps x iterations
+
+    def test_feedback_carries_primary_outcome(self):
+        cfg = one_warp_config()
+        gen = BroadcastAddress(GB, region_bytes=1024)
+        kernel = KernelSpec("k", [load(0x10, gen)], 3)
+        sched = RecordingScheduler()
+        GPUSimulator(kernel, cfg, lambda: (sched, NullPrefetcher())).run()
+        hits = [a.primary_hit for a in sched.load_results]
+        assert hits == [False, True, True]
+
+    def test_feedback_has_pc_and_primary_addr(self):
+        cfg = one_warp_config()
+        gen = StridedAddress(GB, warp_stride=0, iter_stride=256)
+        kernel = KernelSpec("k", [load(0x44, gen)], 2)
+        sched = RecordingScheduler()
+        GPUSimulator(kernel, cfg, lambda: (sched, NullPrefetcher())).run()
+        assert [a.pc for a in sched.load_results] == [0x44, 0x44]
+        assert [a.primary_addr for a in sched.load_results] == [GB, GB + 256]
+
+    def test_mem_complete_notification(self):
+        cfg = one_warp_config()
+        gen = BroadcastAddress(GB, region_bytes=1024)
+        kernel = KernelSpec("k", [load(0x10, gen)], 2)
+        sched = RecordingScheduler()
+        GPUSimulator(kernel, cfg, lambda: (sched, NullPrefetcher())).run()
+        assert sched.mem_completes == [0, 0]
+
+
+class TestPrefetchWiring:
+    def test_issued_prefetch_reports_target(self):
+        cfg = one_warp_config()
+        gen = StridedAddress(GB, warp_stride=0, iter_stride=4096)
+        kernel = KernelSpec("k", [load(0x10, gen)], 3)
+        sched = RecordingScheduler()
+        pf = OneShotPrefetcher(GB + (1 << 20), target=0)
+        GPUSimulator(kernel, cfg, lambda: (sched, pf)).run()
+        assert sched.prefetch_targets == [0]
+
+    def test_dropped_prefetch_does_not_report_target(self):
+        cfg = one_warp_config()
+        gen = StridedAddress(GB, warp_stride=0, iter_stride=4096)
+        kernel = KernelSpec("k", [load(0x10, gen)], 3)
+        sched = RecordingScheduler()
+        # Prefetch the line the demand just fetched: dropped as in-flight.
+        pf = OneShotPrefetcher(GB, target=0)
+        sim = GPUSimulator(kernel, cfg, lambda: (sched, pf))
+        result = sim.run()
+        assert sched.prefetch_targets == []
+        assert result.stats.l1.prefetch_dropped == 1
+
+    def test_prefetch_lines_are_aligned(self):
+        cfg = one_warp_config()
+        gen = StridedAddress(GB, warp_stride=0, iter_stride=4096)
+        kernel = KernelSpec("k", [load(0x10, gen)], 2)
+        pf = OneShotPrefetcher(GB + 4096 + 77, target=None)
+        result = GPUSimulator(kernel, cfg, lambda: (LRRScheduler(), pf)).run()
+        # Second iteration's demand hits/merges the aligned prefetch.
+        l1 = result.stats.l1
+        assert l1.prefetch_issued == 1
+        assert l1.prefetch_useful + l1.prefetch_demand_merged == 1
+
+
+class TestStores:
+    def test_store_does_not_block_warp(self):
+        cfg = one_warp_config()
+        st = StridedAddress(2 * GB, warp_stride=128, iter_stride=2048)
+        kernel = KernelSpec("k", [alu(0x8), store(0x10, st)], 4)
+        result = simulate(kernel, cfg, lambda: (LRRScheduler(), NullPrefetcher()))
+        assert result.stats.store_instructions == 4
+        assert result.stats.memory.bytes_stored == 4 * 128
+
+    def test_store_traffic_in_total(self):
+        cfg = one_warp_config()
+        st = StridedAddress(2 * GB, warp_stride=128, iter_stride=2048)
+        kernel = KernelSpec("k", [store(0x10, st), alu(0x18)], 2)
+        result = simulate(kernel, cfg, lambda: (LRRScheduler(), NullPrefetcher()))
+        assert result.stats.memory.total_traffic_bytes >= 2 * 128
+
+
+class TestDivergentLoads:
+    def test_multi_line_load_blocks_until_last_fill(self):
+        cfg = one_warp_config()
+        # Lanes spread over 4 distinct lines.
+        gen = StridedAddress(GB, warp_stride=0, iter_stride=8192, element_bytes=16)
+        kernel = KernelSpec("k", [load(0x10, gen)], 2)
+        result = simulate(kernel, cfg, lambda: (LRRScheduler(), NullPrefetcher()))
+        assert result.stats.l1.accesses == 2 * 4
+
+    def test_mshr_pressure_causes_replay(self):
+        cfg = make_config(max_warps=8, mshrs=2)
+        gen = StridedAddress(GB, warp_stride=32768, iter_stride=8192, element_bytes=16)
+        kernel = KernelSpec("k", [load(0x10, gen)], 3)
+        result = simulate(kernel, cfg, lambda: (LRRScheduler(), NullPrefetcher()))
+        assert result.stats.l1.reservation_fails > 0
+        # Despite replays, every access eventually commits.
+        assert result.stats.l1.accesses == 8 * 3 * 4

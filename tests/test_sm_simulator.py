@@ -1,0 +1,121 @@
+"""Whole-simulator integration: completion, conservation, determinism."""
+
+import dataclasses
+
+import pytest
+
+from conftest import broadcast_kernel, make_config, mixed_kernel, streaming_kernel
+from repro.errors import SimulationError
+from repro.isa.address import StridedAddress
+from repro.isa.instructions import alu, load
+from repro.isa.program import KernelSpec
+from repro.prefetch.none import NullPrefetcher
+from repro.prefetch.stride import STRPrefetcher
+from repro.sched.lrr import LRRScheduler
+from repro.sm.simulator import GPUSimulator, simulate
+
+
+def lrr_engine():
+    return LRRScheduler(), NullPrefetcher()
+
+
+class TestCompletion:
+    def test_all_instructions_execute(self, tiny_config):
+        kernel = streaming_kernel(iterations=5)
+        result = simulate(kernel, tiny_config, lrr_engine)
+        expected = kernel.instructions_per_warp * tiny_config.max_warps_per_sm
+        assert result.stats.instructions == expected
+
+    def test_multi_sm_counts_scale(self, two_sm_config):
+        kernel = streaming_kernel(iterations=5)
+        result = simulate(kernel, two_sm_config, lrr_engine)
+        expected = kernel.instructions_per_warp * 8 * 2
+        assert result.stats.instructions == expected
+
+    def test_waves_multiply_work(self, tiny_config):
+        k1 = streaming_kernel(iterations=4, waves=1)
+        k2 = streaming_kernel(iterations=4, waves=2)
+        r1 = simulate(k1, tiny_config, lrr_engine)
+        r2 = simulate(k2, tiny_config, lrr_engine)
+        assert r2.stats.instructions == 2 * r1.stats.instructions
+
+    def test_cycles_positive_and_bounded(self, tiny_config):
+        result = simulate(broadcast_kernel(5), tiny_config, lrr_engine)
+        assert 0 < result.cycles < tiny_config.max_cycles
+
+    def test_max_cycles_guard(self, tiny_config):
+        cfg = dataclasses.replace(tiny_config, max_cycles=10)
+        with pytest.raises(SimulationError, match="exceeded"):
+            simulate(streaming_kernel(iterations=50), cfg, lrr_engine)
+
+
+class TestConservation:
+    def test_accesses_equal_hits_plus_misses(self, tiny_config):
+        result = simulate(mixed_kernel(8), tiny_config, lrr_engine)
+        l1 = result.stats.l1
+        assert l1.accesses == l1.hits + l1.misses
+
+    def test_misses_fully_classified(self, tiny_config):
+        result = simulate(mixed_kernel(8), tiny_config, lrr_engine)
+        l1 = result.stats.l1
+        assert l1.misses == l1.cold_misses + l1.capacity_conflict_misses
+
+    def test_hit_split_covers_hits(self, tiny_config):
+        result = simulate(mixed_kernel(8), tiny_config, lrr_engine)
+        l1 = result.stats.l1
+        # The very first access has no predecessor, hence the <= 1 slack.
+        assert 0 <= l1.hits - (l1.hit_after_hit + l1.hit_after_miss) <= 1
+
+    def test_instruction_mix(self, tiny_config):
+        result = simulate(mixed_kernel(8), tiny_config, lrr_engine)
+        s = result.stats
+        assert s.instructions == s.alu_instructions + s.load_instructions + s.store_instructions
+
+    def test_broadcast_mostly_hits(self, tiny_config):
+        result = simulate(broadcast_kernel(20), tiny_config, lrr_engine)
+        assert result.stats.l1.hit_rate > 0.9
+
+    def test_streaming_never_hits(self, tiny_config):
+        result = simulate(streaming_kernel(10), tiny_config, lrr_engine)
+        l1 = result.stats.l1
+        assert l1.hits == 0
+        assert l1.capacity_conflict_misses == 0  # every line is fresh
+
+    def test_l2_traffic_accounts_for_l1_misses(self, tiny_config):
+        result = simulate(streaming_kernel(10), tiny_config, lrr_engine)
+        m = result.stats.memory
+        # One L2 access and one L2->L1 line per demand fill.
+        assert m.l2_accesses == result.stats.l1.misses
+        assert m.bytes_l2_to_l1 == result.stats.l1.misses * 128
+
+
+class TestDeterminism:
+    def test_identical_runs(self, tiny_config):
+        a = simulate(mixed_kernel(8), tiny_config, lrr_engine)
+        b = simulate(mixed_kernel(8), tiny_config, lrr_engine)
+        assert a.cycles == b.cycles
+        assert a.stats.l1.__dict__ == b.stats.l1.__dict__
+
+    def test_prefetcher_runs_deterministic(self, tiny_config):
+        def engine():
+            return LRRScheduler(), STRPrefetcher()
+
+        a = simulate(mixed_kernel(8), tiny_config, engine)
+        b = simulate(mixed_kernel(8), tiny_config, engine)
+        assert a.cycles == b.cycles
+
+
+class TestLatencyMetric:
+    def test_latency_counts_every_demand(self, tiny_config):
+        result = simulate(mixed_kernel(8), tiny_config, lrr_engine)
+        m = result.stats.memory
+        assert m.demand_latency_count == result.stats.l1.accesses
+
+    def test_hit_latency_floor(self, tiny_config):
+        result = simulate(broadcast_kernel(20), tiny_config, lrr_engine)
+        avg = result.stats.memory.avg_demand_latency
+        assert avg >= tiny_config.l1.hit_latency
+
+    def test_miss_latency_above_dram_floor(self, tiny_config):
+        result = simulate(streaming_kernel(10), tiny_config, lrr_engine)
+        assert result.stats.memory.avg_demand_latency >= tiny_config.dram.latency

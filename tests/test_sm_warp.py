@@ -1,0 +1,69 @@
+"""Warp context state machine."""
+
+from repro.isa.address import BroadcastAddress
+from repro.isa.instructions import alu, load
+from repro.isa.program import KernelSpec
+from repro.sm.warp import WarpContext
+
+GEN = BroadcastAddress(1 << 30, region_bytes=1024)
+
+
+def kernel(iterations=2, waves=1):
+    return KernelSpec("k", [load(0x10, GEN), alu(0x18)], iterations, waves=waves)
+
+
+class TestAdvance:
+    def test_walks_body_and_iterations(self):
+        w = WarpContext(0, 0, kernel(iterations=2))
+        assert w.current_instr.pc == 0x10
+        w.advance()
+        assert w.current_instr.pc == 0x18
+        w.advance()
+        assert w.iteration == 1
+        assert w.current_instr.pc == 0x10
+
+    def test_finishes_after_last_iteration(self):
+        w = WarpContext(0, 0, kernel(iterations=1))
+        w.advance()
+        w.advance()
+        assert w.finished
+
+    def test_wave_refill_updates_global_id(self):
+        w = WarpContext(2, 10, kernel(iterations=1, waves=2), wave_stride=100)
+        w.advance()
+        w.advance()
+        assert not w.finished
+        assert w.global_id == 110
+        assert w.iteration == 0
+        w.advance()
+        w.advance()
+        assert w.finished
+
+    def test_same_data_waves_keep_global_id(self):
+        w = WarpContext(2, 10, kernel(iterations=1, waves=2), wave_stride=0)
+        w.advance()
+        w.advance()
+        assert w.global_id == 10
+
+
+class TestReadiness:
+    def test_ready_initially(self):
+        w = WarpContext(0, 0, kernel())
+        assert w.is_ready(0)
+
+    def test_not_ready_before_ready_at(self):
+        w = WarpContext(0, 0, kernel())
+        w.ready_at = 10
+        assert not w.is_ready(9)
+        assert w.is_ready(10)
+
+    def test_not_ready_with_outstanding_memory(self):
+        w = WarpContext(0, 0, kernel())
+        w.outstanding = 1
+        assert not w.is_ready(100)
+
+    def test_finished_never_ready(self):
+        w = WarpContext(0, 0, kernel(iterations=1))
+        w.advance()
+        w.advance()
+        assert not w.is_ready(1000)

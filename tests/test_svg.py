@@ -1,0 +1,66 @@
+"""SVG chart rendering."""
+
+import pytest
+
+from repro.experiments.runner import clear_cache
+from repro.experiments.svg import grouped_bar_chart, render_figure, save_chart
+
+DATA = {
+    "base": {"KM": 1.0, "LUD": 1.0},
+    "apres": {"KM": 1.02, "LUD": 1.39},
+}
+
+
+class TestGroupedBarChart:
+    def test_valid_svg_document(self):
+        svg = grouped_bar_chart(DATA, title="t")
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+
+    def test_one_bar_per_series_category(self):
+        svg = grouped_bar_chart(DATA)
+        assert svg.count("<rect") == 4 + len(DATA)  # bars + legend swatches
+
+    def test_titles_embed_values(self):
+        svg = grouped_bar_chart(DATA)
+        assert "apres / LUD: 1.390" in svg
+
+    def test_escapes_markup(self):
+        svg = grouped_bar_chart({"a<b": {"x&y": 1.0}}, title="<t>")
+        assert "a&lt;b" in svg
+        assert "x&amp;y" in svg
+        assert "&lt;t&gt;" in svg
+
+    def test_baseline_reference_line(self):
+        svg = grouped_bar_chart(DATA, baseline=1.0)
+        assert "stroke-dasharray" in svg
+
+    def test_no_baseline(self):
+        svg = grouped_bar_chart(DATA, baseline=None)
+        assert "stroke-dasharray" not in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart({})
+
+    def test_zero_values_ok(self):
+        svg = grouped_bar_chart({"s": {"a": 0.0}})
+        assert "<rect" in svg
+
+
+class TestSaveAndRender:
+    def test_save_chart(self, tmp_path):
+        path = save_chart(DATA, tmp_path / "c.svg", title="t")
+        assert path.exists()
+        assert path.read_text().startswith("<svg")
+
+    def test_render_figure(self, tmp_path):
+        clear_cache()
+        path = render_figure("figure12", tmp_path, apps=["KM"], scale=0.05)
+        assert path.name == "figure12.svg"
+        assert "apres" in path.read_text()
+        clear_cache()
+
+    def test_render_unknown(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown chart"):
+            render_figure("figure99", tmp_path)

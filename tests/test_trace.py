@@ -1,0 +1,108 @@
+"""Trace recording, serialisation and trace-driven replay."""
+
+import pytest
+
+from conftest import make_config, mixed_kernel, streaming_kernel
+from repro.config import CacheConfig
+from repro.prefetch.none import NullPrefetcher
+from repro.sched.lrr import LRRScheduler
+from repro.sm.simulator import simulate
+from repro.trace import (
+    TraceEvent,
+    TraceRecorder,
+    capacity_sweep,
+    load_trace,
+    replay_trace,
+    save_trace,
+)
+
+
+def record(kernel, config):
+    recorder = TraceRecorder()
+    result = simulate(kernel, config, lambda: (LRRScheduler(), NullPrefetcher()),
+                      load_observers=[recorder.observe])
+    return recorder, result
+
+
+class TestRecorder:
+    def test_one_event_per_load(self, tiny_config):
+        kernel = streaming_kernel(iterations=5)
+        recorder, result = record(kernel, tiny_config)
+        assert len(recorder) == result.stats.load_instructions
+
+    def test_events_carry_pc_and_lines(self, tiny_config):
+        recorder, _ = record(streaming_kernel(iterations=2), tiny_config)
+        assert all(e.pc == 0x10 for e in recorder.events)
+        assert all(len(e.line_addrs) >= 1 for e in recorder.events)
+
+    def test_cycles_monotone_nondecreasing(self, tiny_config):
+        recorder, _ = record(mixed_kernel(4), tiny_config)
+        cycles = [e.cycle for e in recorder.events]
+        assert cycles == sorted(cycles)
+
+    def test_line_stream_filters_by_sm(self, two_sm_config):
+        recorder, _ = record(streaming_kernel(iterations=3), two_sm_config)
+        full = recorder.line_stream()
+        sm0 = recorder.line_stream(sm_id=0)
+        sm1 = recorder.line_stream(sm_id=1)
+        assert len(full) == len(sm0) + len(sm1)
+        assert sm0  # both SMs produced traffic
+        assert sm1
+
+
+class TestSerialisation:
+    def test_roundtrip(self, tiny_config, tmp_path):
+        recorder, _ = record(mixed_kernel(3), tiny_config)
+        path = tmp_path / "run.trace.gz"
+        count = save_trace(recorder.events, path)
+        assert count == len(recorder)
+        loaded = load_trace(path)
+        assert loaded == recorder.events
+
+    def test_roundtrip_preserves_types(self, tmp_path):
+        event = TraceEvent(cycle=5, sm_id=0, warp_id=3, pc=0x10,
+                           primary_addr=1 << 33, line_addrs=(128, 256),
+                           primary_hit=True)
+        path = tmp_path / "one.trace.gz"
+        save_trace([event], path)
+        (loaded,) = load_trace(path)
+        assert loaded == event
+        assert isinstance(loaded.line_addrs, tuple)
+
+
+class TestReplay:
+    def test_replay_matches_execution_for_streaming(self, tiny_config):
+        """A stream with no reuse and no stores replays exactly."""
+        kernel = streaming_kernel(iterations=6)
+        recorder, result = record(kernel, tiny_config)
+        replay = replay_trace(recorder.events, tiny_config.l1, sm_id=0)
+        assert replay.accesses == result.stats.l1.accesses
+        assert replay.misses == result.stats.l1.misses
+        assert replay.cold_misses == result.stats.l1.cold_misses
+
+    def test_replay_is_optimistic_about_inflight_merges(self, tiny_config):
+        """Replay installs lines instantly, so accesses that merged into an
+        in-flight MSHR (counted as misses in execution) replay as hits;
+        stores (which invalidate in execution) are also invisible."""
+        recorder, result = record(mixed_kernel(6), tiny_config)
+        replay = replay_trace(recorder.events, tiny_config.l1, sm_id=0)
+        assert replay.accesses == result.stats.l1.accesses
+        assert replay.misses <= result.stats.l1.misses
+
+    def test_bigger_cache_never_misses_more(self, tiny_config):
+        recorder, _ = record(mixed_kernel(6), tiny_config)
+        small = replay_trace(recorder.events, CacheConfig(4 * 1024, 4), sm_id=0)
+        big = replay_trace(recorder.events, CacheConfig(64 * 1024, 4), sm_id=0)
+        assert big.misses <= small.misses
+        assert big.cold_misses == small.cold_misses  # cold is capacity-blind
+
+    def test_capacity_sweep_monotone(self, tiny_config):
+        recorder, _ = record(mixed_kernel(6), tiny_config)
+        sweep = capacity_sweep(recorder.events, [2 * 1024, 8 * 1024, 32 * 1024])
+        rates = [sweep[s].miss_rate for s in sorted(sweep)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_empty_trace(self):
+        r = replay_trace([], CacheConfig(4 * 1024, 4))
+        assert r.accesses == 0
+        assert r.miss_rate == 0.0

@@ -1,0 +1,41 @@
+"""Claim-check machinery (tiny scale: wiring, not the real claims)."""
+
+import pytest
+
+from repro.experiments.runner import clear_cache
+from repro.experiments.validate import ClaimResult, check_claims, format_report
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestCheckClaims:
+    def test_returns_results_for_subset(self):
+        results = check_claims(scale=0.05, apps=["KM", "LUD"])
+        assert len(results) >= 6
+        assert all(isinstance(r, ClaimResult) for r in results)
+
+    def test_table2_claim_always_passes(self):
+        results = check_claims(scale=0.05, apps=["KM"])
+        t2 = next(r for r in results if "hardware cost" in r.name)
+        assert t2.passed
+
+    def test_km_claims_skipped_without_km(self):
+        results = check_claims(scale=0.05, apps=["LUD"])
+        assert not any("KM" in r.name for r in results)
+
+
+class TestFormatReport:
+    def test_report_shape(self):
+        results = [
+            ClaimResult("a", "p", "m", True),
+            ClaimResult("b", "p", "m", False),
+        ]
+        text = format_report(results)
+        assert "[PASS] a" in text
+        assert "[FAIL] b" in text
+        assert "1/2 claims hold" in text

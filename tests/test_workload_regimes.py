@@ -1,0 +1,104 @@
+"""Verify that each workload lands in the Table I regime it models.
+
+These run the baseline at reduced scale with the profiler attached; they
+pin down the *class* of each dominant load (thrashing / streaming /
+high-locality) rather than exact numbers, so they stay robust to
+recalibration while catching regressions that would invalidate the paper's
+premises.
+"""
+
+import pytest
+
+from repro.characterize.loads import LoadProfiler
+from repro.experiments.configs import CONFIGS, experiment_gpu_config
+from repro.sm.simulator import simulate
+from repro.workloads import build_kernel, workload
+
+SCALE = 0.25
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    """Characterise every memory-intensive app once (module-scoped: slow)."""
+    out = {}
+    cfg = experiment_gpu_config()
+    for abbr in ("BFS", "MUM", "NW", "SPMV", "KM", "LUD", "SRAD", "PA", "BP"):
+        profiler = LoadProfiler()
+        kernel = build_kernel(workload(abbr), SCALE)
+        simulate(kernel, cfg, CONFIGS["base"].build,
+                 load_observers=[profiler.observe])
+        out[abbr] = {r.pc: r for r in profiler.rows()}
+    return out
+
+
+class TestThrashingClass:
+    def test_km_gap_between_llr_and_miss(self, profiles):
+        km = profiles["KM"][0xE8]
+        assert km.lines_per_ref < 0.3      # small ideal miss rate...
+        assert km.miss_rate > 0.7          # ...but the real cache thrashes
+        assert km.top_stride == 4352       # Table I stride
+
+    def test_bfs_dominant_load_has_locality_but_misses(self, profiles):
+        edges = profiles["BFS"][0x110]
+        assert edges.lines_per_ref < 0.2
+        assert edges.miss_rate > 0.3
+
+
+class TestStreamingClass:
+    def test_srad_sweeps(self, profiles):
+        for pc in (0x250, 0x230):
+            r = profiles["SRAD"][pc]
+            assert r.lines_per_ref > 0.8
+            assert r.miss_rate > 0.9
+            assert r.top_stride == 16384
+            assert r.pct_stride > 0.5
+
+    def test_srad_center_rereads_its_line(self, profiles):
+        center = profiles["SRAD"][0x350]
+        assert 0.4 < center.lines_per_ref < 0.6
+
+    def test_nw_huge_negative_stride(self, profiles):
+        diag = profiles["NW"][0x490]
+        assert diag.top_stride == -1_966_080
+        assert diag.pct_stride > 0.5
+
+    def test_lud_panels(self, profiles):
+        panel = profiles["LUD"][0x20F0]
+        assert panel.top_stride == 2048
+        assert panel.pct_stride > 0.8
+
+    def test_bp_layer_stride(self, profiles):
+        hidden = profiles["BP"][0x408]
+        assert hidden.top_stride == 128
+
+
+class TestHighLocalityClass:
+    def test_mum_tree_mostly_hits(self, profiles):
+        tree = profiles["MUM"][0x7A8]
+        assert tree.lines_per_ref < 0.1
+        assert tree.miss_rate < 0.3
+
+    def test_pa_broadcast_table(self, profiles):
+        weights = profiles["PA"][0x2230]
+        assert weights.lines_per_ref < 0.01
+        assert weights.miss_rate < 0.3
+
+    def test_lud_pivot_is_warp_invariant(self, profiles):
+        pivot = profiles["LUD"][0x22E0]
+        assert pivot.lines_per_ref < 0.05
+        assert pivot.top_stride == 0
+
+    def test_bp_reread_hits(self, profiles):
+        """Table I: the 0x478 re-read has a 0.03 miss rate."""
+        reread = profiles["BP"][0x478]
+        first = profiles["BP"][0x3F8]
+        assert reread.miss_rate < first.miss_rate
+
+
+class TestLoadShares:
+    def test_km_single_load_dominates(self, profiles):
+        assert profiles["KM"][0xE8].pct_load > 0.6  # rest is the store
+
+    def test_bfs_ordering_matches_table1(self, profiles):
+        bfs = profiles["BFS"]
+        assert bfs[0x110].pct_load > bfs[0xF0].pct_load > bfs[0x198].pct_load

@@ -1,0 +1,168 @@
+"""Workload specs, the 15-app suite and kernel lowering."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.errors import WorkloadError
+from repro.isa.address import BroadcastAddress, StridedAddress
+from repro.isa.instructions import Op
+from repro.workloads.spec import Category, LoadSpec, StoreSpec, WorkloadSpec
+from repro.workloads.suite import (
+    SUITE,
+    cache_insensitive_workloads,
+    cache_sensitive_workloads,
+    compute_workloads,
+    memory_intensive_workloads,
+    workload,
+)
+from repro.workloads.synthetic import SubstepAddress, build_kernel
+
+GB = 1 << 30
+GEN = BroadcastAddress(GB, region_bytes=1024)
+
+
+def spec(**kw):
+    defaults = dict(
+        name="Test",
+        abbr="T",
+        suite="x",
+        category=Category.COMPUTE,
+        loads=(LoadSpec("a", 0x10, GEN),),
+        iterations=4,
+    )
+    defaults.update(kw)
+    return WorkloadSpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_needs_loads(self):
+        with pytest.raises(WorkloadError):
+            spec(loads=())
+
+    def test_rejects_duplicate_load_pcs(self):
+        with pytest.raises(WorkloadError):
+            spec(loads=(LoadSpec("a", 0x10, GEN), LoadSpec("b", 0x10, GEN)))
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(WorkloadError):
+            spec(iterations=0)
+
+    def test_rejects_zero_weight(self):
+        with pytest.raises(WorkloadError):
+            LoadSpec("a", 0x10, GEN, weight=0)
+
+    def test_memory_intensive_property(self):
+        assert spec(category=Category.CACHE_SENSITIVE).memory_intensive
+        assert spec(category=Category.CACHE_INSENSITIVE).memory_intensive
+        assert not spec(category=Category.COMPUTE).memory_intensive
+
+
+class TestBuildKernel:
+    def test_weight_expands_occurrences(self):
+        k = build_kernel(spec(loads=(LoadSpec("a", 0x10, GEN, weight=3),)))
+        assert sum(1 for i in k.body if i.op is Op.LOAD) == 3
+        assert all(i.pc == 0x10 for i in k.body if i.op is Op.LOAD)
+
+    def test_alu_per_load(self):
+        k = build_kernel(spec(alu_per_load=2))
+        assert sum(1 for i in k.body if i.op is Op.ALU) == 2
+
+    def test_store_appended(self):
+        st = StoreSpec("out", 0x99, GEN)
+        k = build_kernel(spec(store=st))
+        assert k.body[-1].op is Op.STORE
+        assert k.body[-1].pc == 0x99
+
+    def test_scale_shrinks_iterations(self):
+        k = build_kernel(spec(iterations=10), scale=0.5)
+        assert k.iterations == 5
+
+    def test_substep_advances_occurrences(self):
+        gen = StridedAddress(GB, warp_stride=0, iter_stride=128)
+        k = build_kernel(spec(loads=(LoadSpec("a", 0x10, gen, weight=2),)))
+        loads = [i for i in k.body if i.op is Op.LOAD]
+        a0 = loads[0].addr_gen.primary_address(0, 0)
+        a1 = loads[1].addr_gen.primary_address(0, 0)
+        assert a1 - a0 == 128
+
+    def test_substep_false_repeats_address(self):
+        gen = StridedAddress(GB, warp_stride=0, iter_stride=128)
+        k = build_kernel(
+            spec(loads=(LoadSpec("a", 0x10, gen, weight=2, substep=False),))
+        )
+        loads = [i for i in k.body if i.op is Op.LOAD]
+        assert (
+            loads[0].addr_gen.primary_address(0, 3)
+            == loads[1].addr_gen.primary_address(0, 3)
+        )
+
+    def test_waves_forwarded(self):
+        k = build_kernel(spec(waves=3, fresh_waves=False))
+        assert k.waves == 3
+        assert not k.fresh_waves
+
+
+class TestSubstepAddress:
+    def test_effective_iteration(self):
+        inner = StridedAddress(GB, warp_stride=0, iter_stride=100)
+        sub = SubstepAddress(inner, step=1, total=2)
+        assert sub.primary_address(0, 3) == inner.primary_address(0, 7)
+
+    def test_addresses_match_primary(self):
+        inner = StridedAddress(GB, warp_stride=64, iter_stride=100)
+        sub = SubstepAddress(inner, step=0, total=4)
+        assert sub.addresses(2, 5)[0] == sub.primary_address(2, 5)
+
+
+class TestSuite:
+    def test_fifteen_apps(self):
+        assert len(SUITE) == 15
+
+    def test_table4_membership(self):
+        assert set(SUITE) == {
+            "BFS", "MUM", "NW", "SPMV", "KM",
+            "LUD", "SRAD", "PA", "HISTO", "BP",
+            "PF", "CS", "ST", "HS", "SP",
+        }
+
+    def test_category_partition(self):
+        assert [w.abbr for w in cache_sensitive_workloads()] == [
+            "BFS", "MUM", "NW", "SPMV", "KM"
+        ]
+        assert [w.abbr for w in cache_insensitive_workloads()] == [
+            "LUD", "SRAD", "PA", "HISTO", "BP"
+        ]
+        assert [w.abbr for w in compute_workloads()] == ["PF", "CS", "ST", "HS", "SP"]
+        assert len(memory_intensive_workloads()) == 10
+
+    def test_lookup(self):
+        assert workload("KM").abbr == "KM"
+        with pytest.raises(KeyError):
+            workload("XYZ")
+
+    @pytest.mark.parametrize("abbr", sorted(SUITE))
+    def test_every_app_builds(self, abbr):
+        k = build_kernel(workload(abbr), scale=0.1)
+        assert k.iterations >= 1
+        assert any(i.op is Op.LOAD for i in k.body)
+
+    def test_km_paper_stride(self):
+        km = workload("KM")
+        gen = km.loads[0].gen
+        delta = gen.primary_address(5, 0) - gen.primary_address(4, 0)
+        assert delta == 4352  # Table I
+
+    def test_table1_pcs_present(self):
+        assert {l.pc for l in workload("BFS").loads} == {0x110, 0xF0, 0x198}
+        assert {l.pc for l in workload("SRAD").loads} == {0x250, 0x230, 0x350}
+        assert 0xE8 in {l.pc for l in workload("KM").loads}
+
+    def test_bp_reread_shares_input_region(self):
+        bp = workload("BP")
+        by_name = {l.name: l for l in bp.loads}
+        assert by_name["input"].gen is by_name["input_again"].gen
+
+    def test_generators_deterministic(self):
+        for w in SUITE.values():
+            for l in w.loads:
+                assert l.gen.addresses(3, 5) == l.gen.addresses(3, 5)
