@@ -16,10 +16,20 @@ Quick start::
 
 from repro.config import APRESConfig, CacheConfig, DRAMConfig, GPUConfig
 from repro.core import APRESPair, LAWSScheduler, SAPPrefetcher, build_apres, hardware_cost
-from repro.errors import ConfigError, ReproError, SimulationError, WorkloadError
+from repro.errors import (
+    CheckpointError,
+    ConfigError,
+    InvariantError,
+    ReproError,
+    SimulationError,
+    WatchdogTimeout,
+    WorkloadError,
+)
 from repro.experiments import figures
 from repro.experiments.configs import CONFIGS, experiment_gpu_config
 from repro.experiments.runner import RunResult, run, speedup
+from repro.experiments.sweep import ResultsStore, SweepPoint, run_sweep, sweep_points
+from repro.integrity import load_checkpoint, save_checkpoint
 from repro.isa import KernelSpec
 from repro.sm import GPUSimulator, SimulationResult, simulate
 from repro.trace import TraceRecorder, load_trace, replay_trace, save_trace
@@ -37,10 +47,19 @@ __all__ = [
     "SAPPrefetcher",
     "build_apres",
     "hardware_cost",
+    "CheckpointError",
     "ConfigError",
+    "InvariantError",
     "ReproError",
     "SimulationError",
+    "WatchdogTimeout",
     "WorkloadError",
+    "ResultsStore",
+    "SweepPoint",
+    "run_sweep",
+    "sweep_points",
+    "load_checkpoint",
+    "save_checkpoint",
     "figures",
     "CONFIGS",
     "experiment_gpu_config",

@@ -8,19 +8,40 @@ Commands::
     characterize APP [--scale S]         Table I rows for one workload
     table {1,2} [--scale S]              regenerate a paper table
     figure {2,3,4,10,11,12,13,14,15}     regenerate a paper figure's data
+    validate [--scale S]                 check the reproduction's shape claims
+    sweep --out R.jsonl [...]            crash-safe multi-point sweep
+
+``run`` and ``sweep`` accept ``--cycle-budget N`` (hard simulated-cycle
+limit) and ``--watchdog N`` (abort after N cycles without progress, with a
+diagnostic dump). A sweep persists each finished point to its JSONL store
+immediately, so an interrupted sweep resumes where it left off::
+
+    python -m repro sweep --apps KM BFS --configs base apres \\
+        --out results.jsonl
+    # ... SIGKILL mid-way ...
+    python -m repro sweep --apps KM BFS --configs base apres \\
+        --out results.jsonl --resume-from results.jsonl   # only the rest
+
+Exit codes: 0 success, 1 failed validation or failed sweep points,
+2 a :class:`~repro.errors.ReproError` aborted the command.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
+from repro.errors import ReproError
 from repro.experiments import figures
-from repro.experiments.configs import CONFIGS
+from repro.experiments.configs import CONFIGS, experiment_gpu_config
 from repro.experiments.report import format_table
 from repro.experiments.runner import run
 from repro.workloads.suite import SUITE
+
+#: Exit code when a ReproError aborts the command.
+EXIT_REPRO_ERROR = 2
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -37,8 +58,23 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _limited_gpu_config(args: argparse.Namespace):
+    """Fold --cycle-budget / --watchdog flags into the experiment config."""
+    dump_dir = getattr(args, "dump_dir", None)
+    if dump_dir:
+        # The watchdog is constructed deep inside the simulator; the env
+        # var is how its default dump directory is threaded through.
+        os.environ["REPRO_DUMP_DIR"] = dump_dir
+    return experiment_gpu_config().with_limits(
+        max_cycles=getattr(args, "cycle_budget", None),
+        watchdog_cycles=getattr(args, "watchdog", None),
+        integrity_interval=getattr(args, "integrity_every", None),
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = run(args.app, args.config, scale=args.scale)
+    result = run(args.app, args.config, scale=args.scale,
+                 gpu_config=_limited_gpu_config(args))
     s = result.sim.stats
     rows = [
         ["cycles", s.cycles],
@@ -166,6 +202,46 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweep import run_sweep, sweep_points
+
+    try:
+        points = sweep_points(args.apps or None, args.configs or None,
+                              scales=args.scales)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_REPRO_ERROR
+
+    def show_progress(point, record) -> None:
+        status = record["status"]
+        extra = (f"ipc={record['ipc']:.3f}" if status == "ok"
+                 else f"{record['error']}: {record['message']}")
+        print(f"[sweep] {point.key}: {status} ({extra})")
+
+    summary = run_sweep(
+        points,
+        args.out,
+        gpu_config=_limited_gpu_config(args),
+        resume_from=args.resume_from,
+        retries=args.retries,
+        backoff_s=args.backoff,
+        point_timeout_s=args.timeout,
+        max_points=args.max_points,
+        progress=show_progress,
+    )
+    rows = [
+        ["points", summary.total_points],
+        ["simulated", summary.simulated],
+        ["skipped (already done)", summary.skipped],
+        ["failed", summary.failed],
+        ["results store", summary.out_path],
+    ]
+    print(format_table(["Sweep", "Value"], rows, title="Sweep summary"))
+    if summary.failed_keys:
+        print("failed points: " + ", ".join(summary.failed_keys))
+    return 1 if summary.failed else 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.experiments.validate import check_claims, format_report
 
@@ -182,10 +258,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list workloads and configurations")
 
+    def add_integrity_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cycle-budget", type=int, default=None, metavar="N",
+                       help="abort any simulation exceeding N cycles")
+        p.add_argument("--watchdog", type=int, default=None, metavar="N",
+                       help="abort after N cycles without forward progress")
+        p.add_argument("--integrity-every", type=int, default=None, metavar="N",
+                       help="run conservation-invariant checks every N cycles")
+        p.add_argument("--dump-dir", default=None, metavar="DIR",
+                       help="write watchdog diagnostic dumps (JSON) to DIR")
+
     p_run = sub.add_parser("run", help="simulate one workload/configuration")
     p_run.add_argument("app", choices=sorted(SUITE))
     p_run.add_argument("config", choices=sorted(CONFIGS))
     p_run.add_argument("--scale", type=float, default=0.5)
+    add_integrity_flags(p_run)
 
     p_cmp = sub.add_parser("compare", help="speedups over baseline for one app")
     p_cmp.add_argument("app", choices=sorted(SUITE))
@@ -208,6 +295,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_val = sub.add_parser("validate", help="check the reproduction's shape claims")
     p_val.add_argument("--scale", type=float, default=0.5)
     p_val.add_argument("--apps", nargs="*", metavar="APP")
+
+    p_sweep = sub.add_parser(
+        "sweep", help="crash-safe multi-point sweep with a JSONL results store"
+    )
+    p_sweep.add_argument("--out", required=True, metavar="PATH",
+                         help="JSONL results store (appended as points finish)")
+    p_sweep.add_argument("--apps", nargs="*", metavar="APP",
+                         help="workloads to sweep (default: all)")
+    p_sweep.add_argument("--configs", nargs="*", metavar="CONFIG",
+                         help="configurations to sweep (default: all)")
+    p_sweep.add_argument("--scales", nargs="*", type=float, default=[0.5],
+                         metavar="S", help="workload scales (default: 0.5)")
+    p_sweep.add_argument("--resume-from", metavar="PATH", default=None,
+                         help="skip points already completed in this store")
+    p_sweep.add_argument("--retries", type=int, default=2, metavar="K",
+                         help="retries per point on transient simulation errors")
+    p_sweep.add_argument("--backoff", type=float, default=0.5, metavar="SEC",
+                         help="base retry backoff (doubles per attempt)")
+    p_sweep.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                         help="wall-clock limit per point")
+    p_sweep.add_argument("--max-points", type=int, default=None, metavar="N",
+                         help="simulate at most N new points this invocation")
+    add_integrity_flags(p_sweep)
     return parser
 
 
@@ -219,12 +329,19 @@ _COMMANDS = {
     "table": _cmd_table,
     "figure": _cmd_figure,
     "validate": _cmd_validate,
+    "sweep": _cmd_sweep,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        # One actionable line instead of a traceback; structured context
+        # (if any) is in exc.details and any watchdog dump it references.
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_REPRO_ERROR
 
 
 if __name__ == "__main__":

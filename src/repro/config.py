@@ -113,6 +113,12 @@ class GPUConfig:
     apres: APRESConfig = dataclasses.field(default_factory=APRESConfig)
     #: Safety valve: abort simulations that exceed this many cycles.
     max_cycles: int = 20_000_000
+    #: Cycles between conservation-invariant sweeps (0 disables them).
+    #: Checks are read-only and cannot change simulated timing.
+    integrity_interval: int = 0
+    #: Abort with :class:`~repro.errors.WatchdogTimeout` when no instruction
+    #: retires and no memory fill completes for this many cycles (0 disables).
+    watchdog_cycles: int = 0
 
     def __post_init__(self) -> None:
         if self.num_sms < 1:
@@ -121,6 +127,12 @@ class GPUConfig:
             raise ConfigError("need at least one warp per SM")
         if self.issue_latency < 1:
             raise ConfigError("issue latency must be positive")
+        if self.max_cycles < 1:
+            raise ConfigError("cycle budget must be positive")
+        if self.integrity_interval < 0:
+            raise ConfigError("integrity interval cannot be negative")
+        if self.watchdog_cycles < 0:
+            raise ConfigError("watchdog threshold cannot be negative")
 
     def scaled(self, num_sms: int) -> "GPUConfig":
         """Return a config with ``num_sms`` SMs and proportional DRAM bandwidth.
@@ -142,6 +154,27 @@ class GPUConfig:
             dram=dataclasses.replace(self.dram, service_cycles=dram_service),
             l2=dataclasses.replace(self.l2, service_cycles=l2_service),
         )
+
+    def with_limits(
+        self,
+        *,
+        max_cycles: "int | None" = None,
+        watchdog_cycles: "int | None" = None,
+        integrity_interval: "int | None" = None,
+    ) -> "GPUConfig":
+        """Return a config with the given integrity limits overridden.
+
+        ``None`` keeps the current value; the CLI's ``--cycle-budget`` and
+        ``--watchdog`` flags funnel through here.
+        """
+        changes: dict = {}
+        if max_cycles is not None:
+            changes["max_cycles"] = max_cycles
+        if watchdog_cycles is not None:
+            changes["watchdog_cycles"] = watchdog_cycles
+        if integrity_interval is not None:
+            changes["integrity_interval"] = integrity_interval
+        return dataclasses.replace(self, **changes) if changes else self
 
     def with_l1_size(self, size_bytes: int) -> "GPUConfig":
         """Return a config whose L1 capacity is ``size_bytes`` (e.g. Figure 2's 32 MB)."""

@@ -2,12 +2,16 @@
 
 Figures 10-15 all evaluate the same handful of configurations over the
 same 15 workloads, so results are cached per
-``(workload, config, scale, L1 size, SM count)`` within the process. Every
-run is deterministic, which makes the cache safe.
+``(workload, config, scale, GPU config)`` within the process. Every run is
+deterministic, which makes the cache safe. The cache is a bounded LRU so
+unbounded sweeps (see :mod:`repro.experiments.sweep`, which persists its
+results to disk instead) cannot grow memory without limit.
 """
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
@@ -17,6 +21,14 @@ from repro.sm.simulator import SimulationResult, simulate
 from repro.stats.energy import EnergyModel, EnergyReport
 from repro.workloads.suite import workload
 from repro.workloads.synthetic import build_kernel
+
+# Cache keys embed GPUConfig instances; if the dataclass ever stops being
+# frozen (and therefore hashable), keys would silently alias or crash deep
+# inside dict machinery. Fail loudly at import time instead.
+if not GPUConfig.__dataclass_params__.frozen:  # pragma: no cover - config bug
+    raise TypeError("GPUConfig must stay a frozen dataclass: runner cache "
+                    "keys rely on structural hashing")
+hash(GPUConfig())  # raises TypeError if any field breaks hashability
 
 
 @dataclass(frozen=True)
@@ -37,7 +49,26 @@ class RunResult:
         return self.sim.cycles
 
 
-_CACHE: dict[tuple, RunResult] = {}
+#: Default LRU capacity; override via $REPRO_RUN_CACHE_SIZE or set_cache_limit.
+_DEFAULT_CACHE_SIZE = 256
+
+_CACHE: "OrderedDict[tuple, RunResult]" = OrderedDict()
+_cache_max = max(1, int(os.environ.get("REPRO_RUN_CACHE_SIZE", _DEFAULT_CACHE_SIZE)))
+
+
+def set_cache_limit(max_entries: int) -> None:
+    """Bound the memoisation cache to ``max_entries`` (evicting LRU-first)."""
+    global _cache_max
+    if max_entries < 1:
+        raise ValueError("cache limit must be >= 1")
+    _cache_max = max_entries
+    while len(_CACHE) > _cache_max:
+        _CACHE.popitem(last=False)
+
+
+def cache_limit() -> int:
+    """Current LRU capacity of the memoisation cache."""
+    return _cache_max
 
 
 def clear_cache() -> None:
@@ -59,6 +90,7 @@ def run(
     key = (workload_abbr, config_name, scale, cfg)
     cached = _CACHE.get(key)
     if cached is not None:
+        _CACHE.move_to_end(key)
         return cached
 
     spec = workload(workload_abbr)
@@ -70,6 +102,8 @@ def run(
     )
     result = RunResult(workload_abbr, config_name, sim, energy)
     _CACHE[key] = result
+    while len(_CACHE) > _cache_max:
+        _CACHE.popitem(last=False)
     return result
 
 

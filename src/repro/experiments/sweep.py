@@ -1,0 +1,298 @@
+"""Crash-safe sweep driver with an on-disk JSONL results store.
+
+Large evaluations simulate hundreds of ``(workload, config, scale)``
+points; a crash, hang, or SIGKILL hours in must not force a rerun from
+scratch. This driver therefore:
+
+* persists every completed point to an append-only JSONL store the moment
+  it finishes (flushed and fsynced, so a kill can lose at most the point
+  in flight — never corrupt earlier ones);
+* on restart (``resume_from``), skips points the store already holds and
+  re-simulates only incomplete or previously failed ones — simulation is
+  deterministic, so the merged store equals an uninterrupted sweep's;
+* bounds each point with an optional wall-clock timeout and retries
+  transient :class:`SimulationError`\\ s with exponential backoff;
+* records failures as structured JSONL rows instead of killing the sweep.
+
+The in-process memoisation cache of :mod:`repro.experiments.runner` is an
+optimisation *within* a process; this store is the source of truth
+*across* processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import sleep as _default_sleep
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.config import GPUConfig
+from repro.errors import ReproError, SimulationError, WatchdogTimeout
+from repro.experiments.configs import CONFIGS
+from repro.experiments.runner import RunResult, run
+from repro.workloads.suite import SUITE
+
+#: Bump when the record layout changes incompatibly.
+RESULT_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One simulation point of a sweep."""
+
+    workload: str
+    config_name: str
+    scale: float
+
+    @property
+    def key(self) -> str:
+        """Stable store key for resume matching."""
+        return f"{self.workload}|{self.config_name}|{self.scale:g}"
+
+
+def sweep_points(
+    apps: Optional[Sequence[str]] = None,
+    configs: Optional[Sequence[str]] = None,
+    scales: Sequence[float] = (0.5,),
+) -> list[SweepPoint]:
+    """Cartesian product of workloads x configurations x scales.
+
+    ``None`` selects every workload / every configuration. Unknown names
+    raise ValueError up front, before any simulation time is spent.
+    """
+    app_list = list(apps) if apps else sorted(SUITE)
+    config_list = list(configs) if configs else sorted(CONFIGS)
+    for app in app_list:
+        if app not in SUITE:
+            raise ValueError(f"unknown workload {app!r}")
+    for config in config_list:
+        if config not in CONFIGS:
+            raise ValueError(f"unknown config {config!r}")
+    return [
+        SweepPoint(app, config, scale)
+        for app in app_list
+        for config in config_list
+        for scale in scales
+    ]
+
+
+class ResultsStore:
+    """Append-only JSONL store of sweep results.
+
+    Each line is one self-contained JSON record. Appends are flushed and
+    fsynced so a SIGKILL can truncate at most the line being written;
+    :meth:`load` tolerates such a torn tail by skipping undecodable lines
+    (the affected point is simply re-simulated on resume).
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def load(self) -> dict[str, dict]:
+        """Records keyed by point key; the last record for a key wins."""
+        records: dict[str, dict] = {}
+        if not os.path.exists(self.path):
+            return records
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail from a crash mid-append
+                key = record.get("key")
+                if isinstance(key, str):
+                    records[key] = record
+        return records
+
+    def append(self, record: dict) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        line = json.dumps(record, sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+
+@dataclass
+class SweepSummary:
+    """Outcome of one :func:`run_sweep` invocation."""
+
+    out_path: str
+    total_points: int
+    simulated: int = 0
+    skipped: int = 0
+    failed: int = 0
+    #: Keys that ended in a failure record this invocation.
+    failed_keys: list[str] = field(default_factory=list)
+
+    @property
+    def completed(self) -> int:
+        return self.simulated + self.skipped - self.failed
+
+
+def _ok_record(point: SweepPoint, result: RunResult, attempts: int) -> dict:
+    s = result.sim.stats
+    return {
+        "format": RESULT_FORMAT,
+        "key": point.key,
+        "workload": point.workload,
+        "config": point.config_name,
+        "scale": point.scale,
+        "status": "ok",
+        "attempts": attempts,
+        "cycles": s.cycles,
+        "instructions": s.instructions,
+        "ipc": s.ipc,
+        "l1_miss_rate": s.l1.miss_rate,
+        "avg_demand_latency": s.memory.avg_demand_latency,
+        "energy_pj": result.energy.total,
+        "engine_events": result.sim.engine_events,
+        "stats": s.as_dict(),
+    }
+
+
+def _failure_record(point: SweepPoint, exc: ReproError, attempts: int) -> dict:
+    return {
+        "format": RESULT_FORMAT,
+        "key": point.key,
+        "workload": point.workload,
+        "config": point.config_name,
+        "scale": point.scale,
+        "status": "failed",
+        "attempts": attempts,
+        "error": type(exc).__name__,
+        "message": str(exc),
+        "details": exc.details,
+    }
+
+
+@contextmanager
+def _wall_clock_limit(seconds: Optional[float], key: str):
+    """SIGALRM-based per-point timeout (main thread only; no-op elsewhere)."""
+    usable = (
+        seconds
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise WatchdogTimeout(
+            f"sweep point {key} exceeded wall-clock timeout of {seconds}s",
+            details={"kind": "wall-clock", "timeout_s": seconds, "key": key},
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def run_sweep(
+    points: Iterable[SweepPoint],
+    out_path: str,
+    *,
+    gpu_config: Optional[GPUConfig] = None,
+    resume_from: Optional[str] = None,
+    retries: int = 2,
+    backoff_s: float = 0.5,
+    point_timeout_s: Optional[float] = None,
+    max_points: Optional[int] = None,
+    sleep: Callable[[float], None] = _default_sleep,
+    progress: Optional[Callable[[SweepPoint, dict], None]] = None,
+) -> SweepSummary:
+    """Run every point, persisting each result to ``out_path`` as it lands.
+
+    ``resume_from`` names an earlier (possibly interrupted) store whose
+    completed points are skipped; pointing it at ``out_path`` itself makes
+    the sweep restartable in place. ``max_points`` bounds how many points
+    are *simulated* this invocation (skips are free) — useful for smoke
+    tests and incremental fills. ``sleep`` is injectable so tests can
+    verify backoff without waiting.
+    """
+    points = list(points)
+    store = ResultsStore(out_path)
+    done: dict[str, dict] = {}
+    if resume_from:
+        done.update(
+            {
+                key: record
+                for key, record in ResultsStore(resume_from).load().items()
+                if record.get("status") == "ok"
+            }
+        )
+        if os.path.abspath(resume_from) != os.path.abspath(out_path):
+            # Merging stores: carry completed points into the new one so
+            # out_path alone holds the full sweep at the end.
+            for record in done.values():
+                store.append(record)
+
+    summary = SweepSummary(out_path=out_path, total_points=len(points))
+    for point in points:
+        if point.key in done:
+            summary.skipped += 1
+            continue
+        if max_points is not None and summary.simulated >= max_points:
+            break
+        record = _run_point(
+            point,
+            gpu_config=gpu_config,
+            retries=retries,
+            backoff_s=backoff_s,
+            point_timeout_s=point_timeout_s,
+            sleep=sleep,
+        )
+        store.append(record)
+        done[point.key] = record
+        summary.simulated += 1
+        if record["status"] != "ok":
+            summary.failed += 1
+            summary.failed_keys.append(point.key)
+        if progress is not None:
+            progress(point, record)
+    return summary
+
+
+def _run_point(
+    point: SweepPoint,
+    *,
+    gpu_config: Optional[GPUConfig],
+    retries: int,
+    backoff_s: float,
+    point_timeout_s: Optional[float],
+    sleep: Callable[[float], None],
+) -> dict:
+    """Simulate one point with timeout + bounded retry; never raises
+    :class:`ReproError` — failures become records."""
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            with _wall_clock_limit(point_timeout_s, point.key):
+                result = run(
+                    point.workload,
+                    point.config_name,
+                    scale=point.scale,
+                    gpu_config=gpu_config,
+                )
+            return _ok_record(point, result, attempts)
+        except SimulationError as exc:
+            if attempts > retries:
+                return _failure_record(point, exc, attempts)
+            sleep(backoff_s * (2 ** (attempts - 1)))
+        except ReproError as exc:
+            # Config/workload errors are deterministic; retrying cannot help.
+            return _failure_record(point, exc, attempts)

@@ -1,0 +1,97 @@
+"""Checkpoint/restore of in-flight simulations.
+
+A checkpoint is a pickle of the whole :class:`GPUSimulator` object graph —
+warp contexts, scheduler and prefetcher tables (LAWS/SAP included), MSHRs,
+pending events, and statistics. Event callbacks are picklable callable
+objects by construction (see :mod:`repro.mem.subsystem` and
+:mod:`repro.sm.pipeline`), and pickling preserves shared references, so a
+restored simulator continues bit-identically to an uninterrupted run.
+
+Files are written atomically (temp file + ``os.replace``) so a crash
+mid-write can never leave a truncated checkpoint behind.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+from repro.errors import CheckpointError
+
+#: Bump when the on-disk layout changes incompatibly.
+CHECKPOINT_FORMAT = 1
+
+_MAGIC = "repro-checkpoint"
+
+
+def dump_simulator(simulator) -> bytes:
+    """Serialise a simulator (mid-run or fresh) to bytes."""
+    payload = {
+        "magic": _MAGIC,
+        "format": CHECKPOINT_FORMAT,
+        "cycle": simulator.current_cycle,
+        "kernel": simulator.kernel_name,
+        "simulator": simulator,
+    }
+    try:
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:  # pickling errors span TypeError/AttributeError/...
+        raise CheckpointError(
+            f"cannot serialise simulator state: {exc}",
+            details={"kernel": simulator.kernel_name,
+                     "cycle": simulator.current_cycle},
+        ) from exc
+
+
+def load_simulator(blob: bytes):
+    """Reconstruct a simulator from :func:`dump_simulator` bytes."""
+    try:
+        payload = pickle.loads(blob)
+    except Exception as exc:
+        raise CheckpointError(f"cannot deserialise checkpoint: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
+        raise CheckpointError("not a repro checkpoint")
+    if payload.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"checkpoint format {payload.get('format')!r} unsupported "
+            f"(expected {CHECKPOINT_FORMAT})",
+            details={"format": payload.get("format")},
+        )
+    from repro.sm.simulator import GPUSimulator
+
+    simulator = payload.get("simulator")
+    if not isinstance(simulator, GPUSimulator):
+        raise CheckpointError("checkpoint payload is not a GPUSimulator")
+    return simulator
+
+
+def save_checkpoint(simulator, path: str) -> None:
+    """Atomically write a simulator checkpoint to ``path``."""
+    blob = dump_simulator(simulator)
+    tmp = f"{path}.tmp"
+    try:
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot write checkpoint {path!r}: {exc}",
+            details={"path": path},
+        ) from exc
+
+
+def load_checkpoint(path: str):
+    """Load a simulator checkpoint written by :func:`save_checkpoint`."""
+    try:
+        with open(path, "rb") as fh:
+            blob = fh.read()
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot read checkpoint {path!r}: {exc}",
+            details={"path": path},
+        ) from exc
+    return load_simulator(blob)

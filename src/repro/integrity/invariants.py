@@ -1,0 +1,53 @@
+"""Cadenced conservation checks over live simulator state.
+
+The checks themselves live next to the state they audit
+(:meth:`repro.mem.subsystem.MemorySubsystem.check_invariants`,
+:meth:`repro.sm.pipeline.SMCore.check_invariants`); this module owns the
+cadence and the simulator-wide invariants that no single component can
+see — most importantly that the fast-forward clock only moves forward.
+
+Checks are read-only: a run with guards enabled produces bit-identical
+statistics to one without.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvariantError
+
+
+class InvariantChecker:
+    """Runs every component's conservation checks at a fixed cycle cadence.
+
+    Holds only plain counters, so it checkpoints along with the simulator.
+    """
+
+    def __init__(self, interval: int):
+        if interval < 1:
+            raise ValueError("invariant check interval must be >= 1 cycle")
+        self.interval = interval
+        #: Cycle of the last completed sweep (-inf semantics via None).
+        self._last_checked: int | None = None
+        #: Total sweeps executed (mirrored into ``SimStats.integrity_checks``).
+        self.checks_run = 0
+
+    def maybe_check(self, simulator, now: int) -> None:
+        """Run a sweep if at least ``interval`` cycles passed since the last."""
+        if self._last_checked is not None and now - self._last_checked < self.interval:
+            return
+        self.check(simulator, now)
+
+    def check(self, simulator, now: int) -> None:
+        """Run one full sweep immediately; raises :class:`InvariantError`."""
+        self._last_checked = now
+        self.checks_run += 1
+        simulator.stats.integrity_checks += 1
+        last_now = simulator.last_checked_cycle
+        if last_now is not None and now < last_now:
+            raise InvariantError(
+                f"clock moved backwards: cycle {now} after {last_now}",
+                details={"cycle": now, "previous_cycle": last_now,
+                         "invariant": "monotonic clock"},
+            )
+        simulator.subsystem.check_invariants(now)
+        for sm in simulator.sms:
+            sm.check_invariants(now)

@@ -27,6 +27,10 @@ MissForwarder = Callable[[int, int, bool], int]
 EvictionListener = Callable[[int, int], None]
 
 
+def _ignore_latency(issue_cycle: int, done_cycle: int) -> None:
+    """Default latency sink; module-level so simulator state stays picklable."""
+
+
 class AccessOutcome(enum.Enum):
     """Result of a demand access."""
 
@@ -57,7 +61,7 @@ class L1Cache:
         self._last_access_hit: Optional[bool] = None
         self.eviction_listener: Optional[EvictionListener] = None
         #: Hook the subsystem overrides to feed demand-latency counters.
-        self.stats_latency: Callable[[int, int], None] = lambda issue, done: None
+        self.stats_latency: Callable[[int, int], None] = _ignore_latency
 
     @property
     def hit_latency(self) -> int:
@@ -66,6 +70,11 @@ class L1Cache:
     @property
     def mshr_occupancy(self) -> float:
         return self._mshrs.occupancy_ratio
+
+    @property
+    def mshrs(self) -> MSHRFile:
+        """The MSHR file (read-only use: integrity checks and diagnostics)."""
+        return self._mshrs
 
     def contains(self, line_addr: int) -> bool:
         return self._tags.probe(line_addr, update_lru=False) is not None

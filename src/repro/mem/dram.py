@@ -44,3 +44,11 @@ class DRAMModel:
     def queue_delay(self, line_addr: int, now: int) -> int:
         """Cycles a request arriving ``now`` would wait (diagnostic)."""
         return max(0, self._partition_free_at[self.partition_of(line_addr)] - now)
+
+    def queue_depths(self, now: int) -> list[int]:
+        """Per-partition busy cycles remaining at ``now`` (diagnostic).
+
+        The watchdog folds this into its dump so a hang can be told apart
+        from a merely saturated memory system.
+        """
+        return [max(0, free_at - now) for free_at in self._partition_free_at]

@@ -39,6 +39,10 @@ class MSHRFile:
         self._capacity = num_entries
         self._merge_limit = merge_limit
         self._entries: dict[int, MSHREntry] = {}
+        #: Lifetime allocation/release counters, kept for the integrity
+        #: layer's conservation check: live entries == allocated - released.
+        self.allocated_total = 0
+        self.released_total = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -67,6 +71,7 @@ class MSHRFile:
             return None
         entry = MSHREntry(line_addr, now, prefetch_only)
         self._entries[line_addr] = entry
+        self.allocated_total += 1
         return entry
 
     def can_merge(self, entry: MSHREntry) -> bool:
@@ -84,4 +89,13 @@ class MSHRFile:
 
     def release(self, line_addr: int) -> MSHREntry:
         """Remove and return the entry when its fill arrives."""
-        return self._entries.pop(line_addr)
+        entry = self._entries.pop(line_addr)
+        self.released_total += 1
+        return entry
+
+    def occupancy_by_line(self) -> dict[int, int]:
+        """Diagnostic view: line address -> merged demand count."""
+        return {
+            addr: len(entry.demand_issue_cycles)
+            for addr, entry in self._entries.items()
+        }

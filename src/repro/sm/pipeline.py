@@ -30,6 +30,23 @@ from repro.stats.counters import SimStats
 LoadObserver = Callable[[LoadAccess, list[bool]], None]
 
 
+class _WarpMemDone:
+    """Completion callback for one of a warp's line requests.
+
+    A module-level callable (not a closure) so MSHR callback lists and the
+    event queue stay picklable for checkpointing.
+    """
+
+    __slots__ = ("sm", "warp")
+
+    def __init__(self, sm: "SMCore", warp: WarpContext):
+        self.sm = sm
+        self.warp = warp
+
+    def __call__(self, when: int) -> None:
+        self.sm._mem_done(self.warp, when)
+
+
 class _PendingLoad:
     """A load whose line requests have not all been accepted by the L1."""
 
@@ -87,6 +104,10 @@ class SMCore:
         ]
         self._replay: deque[_PendingLoad] = deque()
         self._is_mem_at = tuple(i.is_mem for i in kernel.body)
+        #: Line requests handed to the L1 / completed back, for the
+        #: integrity layer's conservation check against warp.outstanding.
+        self.mem_requests_issued = 0
+        self.mem_requests_completed = 0
         self.load_observers: list[LoadObserver] = []
         scheduler.reset(len(self.warps))
         scheduler.attach_l1(l1)
@@ -176,6 +197,7 @@ class SMCore:
         lines = coalesce(addrs, self._config.l1.line_size)
         # Stall on use: the warp resumes when its last request returns.
         warp.outstanding += len(lines)
+        self.mem_requests_issued += len(lines)
         warp.ready_at = now + 1
         pending = _PendingLoad(
             warp=warp,
@@ -205,7 +227,7 @@ class SMCore:
         while pending.remaining:
             line = pending.remaining[0]
             outcome, ready = self._l1.access(
-                line, warp.warp_id, now, on_fill=lambda when, w=warp: self._mem_done(w, when)
+                line, warp.warp_id, now, on_fill=_WarpMemDone(self, warp)
             )
             if outcome is AccessOutcome.STALL:
                 return
@@ -215,9 +237,7 @@ class SMCore:
             if hit:
                 assert ready is not None
                 self._subsystem.record_hit_latency(ready - now)
-                self._subsystem.events.schedule(
-                    ready, lambda when, w=warp: self._mem_done(w, when)
-                )
+                self._subsystem.events.schedule(ready, _WarpMemDone(self, warp))
             if len(pending.line_hits) == 1:
                 # Primary request committed: emit the LSU feedback.
                 self._emit_load_feedback(pending, hit, now)
@@ -265,6 +285,7 @@ class SMCore:
 
     def _mem_done(self, warp: WarpContext, when: int) -> None:
         warp.outstanding -= 1
+        self.mem_requests_completed += 1
         if warp.outstanding < 0:
             raise AssertionError("memory completion underflow")
         if warp.outstanding == 0:
@@ -275,3 +296,68 @@ class SMCore:
         warp.advance()
         if warp.finished:
             self._scheduler.notify_warp_finished(warp.warp_id)
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+
+    def check_invariants(self, now: int) -> None:
+        """Conservation checks over warp and request state (read-only).
+
+        Raises :class:`InvariantError` with a structured snapshot on the
+        first violation.
+        """
+        from repro.errors import InvariantError
+
+        def violate(message: str) -> None:
+            raise InvariantError(
+                f"SM {self.sm_id} invariant violated at cycle {now}: {message}",
+                details={"cycle": now, "invariant": message, "sm": self.describe()},
+            )
+
+        if len(self.warps) != self._config.max_warps_per_sm:
+            violate(
+                f"{len(self.warps)} warp contexts but "
+                f"{self._config.max_warps_per_sm} were launched")
+        outstanding = 0
+        for w in self.warps:
+            if w.outstanding < 0:
+                violate(f"warp {w.warp_id} outstanding count is negative "
+                        f"({w.outstanding})")
+            if w.finished and w.outstanding:
+                violate(f"finished warp {w.warp_id} still has "
+                        f"{w.outstanding} requests in flight")
+            outstanding += w.outstanding
+        in_flight = self.mem_requests_issued - self.mem_requests_completed
+        if outstanding != in_flight:
+            violate(
+                f"warps report {outstanding} outstanding requests but "
+                f"{self.mem_requests_issued} issued - "
+                f"{self.mem_requests_completed} completed = {in_flight}")
+        for pending in self._replay:
+            if pending.warp.finished:
+                violate(f"replay queue holds a load of finished warp "
+                        f"{pending.warp.warp_id}")
+
+    def describe(self) -> dict:
+        """JSON-ready snapshot of this SM (watchdog/invariant diagnostics)."""
+        return {
+            "sm": self.sm_id,
+            "done": self.done,
+            "replay_depth": len(self._replay),
+            "mem_requests_issued": self.mem_requests_issued,
+            "mem_requests_completed": self.mem_requests_completed,
+            "mshr_occupancy": self._l1.mshr_occupancy,
+            "warps": [
+                {
+                    "warp": w.warp_id,
+                    "pc_index": w.pc_index,
+                    "iteration": w.iteration,
+                    "wave": w.wave,
+                    "ready_at": w.ready_at,
+                    "outstanding": w.outstanding,
+                    "finished": w.finished,
+                }
+                for w in self.warps
+            ],
+        }

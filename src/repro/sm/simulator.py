@@ -4,6 +4,14 @@ The main loop is cycle-driven with event-queue fast-forwarding: when every
 SM is stalled (all warps waiting on memory or dependent-issue delays) the
 clock jumps straight to the next wake-up, which makes memory-bound phases
 cheap to simulate without changing any observable timing.
+
+The loop is resumable: all progress lives in instance state (``_now`` and
+the component objects), so a run can be paused with :meth:`step_until`,
+serialised with :meth:`snapshot`, and continued bit-identically after
+:meth:`restore` — the foundation of the crash-safe sweep runner. The
+integrity layer (invariant guards, watchdog; see :mod:`repro.integrity`)
+hooks into every tick but is read-only, so enabling it never changes
+simulated timing.
 """
 
 from __future__ import annotations
@@ -12,7 +20,10 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from repro.config import GPUConfig
-from repro.errors import SimulationError
+from repro.errors import InvariantError, SimulationError
+from repro.integrity.checkpoint import dump_simulator, load_simulator, save_checkpoint
+from repro.integrity.invariants import InvariantChecker
+from repro.integrity.watchdog import Watchdog
 from repro.isa.program import KernelSpec
 from repro.mem.subsystem import MemorySubsystem
 from repro.prefetch.base import Prefetcher
@@ -75,33 +86,118 @@ class GPUSimulator:
             )
             sm.load_observers.extend(load_observers)
             self._sms.append(sm)
+        self._now = 0
+        #: Cycle of the last completed tick; the monotonic-clock guard.
+        self._prev_cycle: Optional[int] = None
+        self._finished = False
+        self._integrity = (
+            InvariantChecker(config.integrity_interval)
+            if config.integrity_interval
+            else None
+        )
+        self.watchdog = Watchdog(config.watchdog_cycles)
+
+    # ------------------------------------------------------------------
+    # Introspection (also consumed by the integrity layer)
+    # ------------------------------------------------------------------
 
     @property
     def subsystem(self) -> MemorySubsystem:
         return self._subsystem
 
-    def run(self) -> SimulationResult:
-        """Simulate to completion; returns aggregated statistics."""
-        now = 0
-        max_cycles = self._config.max_cycles
-        events = self._subsystem.events
-        while True:
-            events.run_until(now)
-            issued_any = False
-            for sm in self._sms:
-                issued_any |= sm.cycle(now)
-            if all(sm.done for sm in self._sms) and not len(events):
-                now += 1
-                break
-            if now >= max_cycles:
-                raise SimulationError(
-                    f"kernel {self._kernel.name!r} exceeded {max_cycles} cycles"
-                )
-            if issued_any:
-                now += 1
-                continue
-            now = self._fast_forward(now)
-        self.stats.cycles = now
+    @property
+    def sms(self) -> Sequence[SMCore]:
+        return self._sms
+
+    @property
+    def kernel_name(self) -> str:
+        return self._kernel.name
+
+    @property
+    def current_cycle(self) -> int:
+        return self._now
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    @property
+    def last_checked_cycle(self) -> Optional[int]:
+        return self._prev_cycle
+
+    @property
+    def fills_completed(self) -> int:
+        """Total line fills landed in any L1 (watchdog progress signal)."""
+        return sum(l1.mshrs.released_total for l1 in self._subsystem.l1s)
+
+    def describe(self, now: Optional[int] = None) -> dict:
+        """JSON-ready snapshot of machine state (diagnostic dumps)."""
+        if now is None:
+            now = self._now
+        return {
+            "kernel": self._kernel.name,
+            "cycle": now,
+            "finished": self._finished,
+            "stats": {
+                "instructions": self.stats.instructions,
+                "idle_cycles": self.stats.idle_cycles,
+                "l1_accesses": self.stats.l1.accesses,
+                "l1_misses": self.stats.l1.misses,
+                "fills_completed": self.fills_completed,
+                "integrity_checks": self.stats.integrity_checks,
+            },
+            "sms": [sm.describe() for sm in self._sms],
+            "memory": self._subsystem.describe(now),
+        }
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        *,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: Optional[int] = None,
+    ) -> SimulationResult:
+        """Simulate to completion; returns aggregated statistics.
+
+        With ``checkpoint_path`` and ``checkpoint_every`` set, the full
+        simulator state is written atomically to that path every
+        ``checkpoint_every`` cycles, so a crashed run can be continued via
+        :meth:`restore` + ``run()``.
+        """
+        last_saved = self._now
+        while not self._finished:
+            self._tick()
+            if (
+                checkpoint_path is not None
+                and checkpoint_every
+                and not self._finished
+                and self._now - last_saved >= checkpoint_every
+            ):
+                save_checkpoint(self, checkpoint_path)
+                last_saved = self._now
+        return self.result()
+
+    def step_until(self, stop_cycle: int) -> bool:
+        """Advance until ``stop_cycle`` is reached (or the kernel finishes).
+
+        Returns True when the simulation is complete. Pausing and resuming
+        at any cycle is observable-state free: the continuation produces
+        bit-identical statistics.
+        """
+        while not self._finished and self._now < stop_cycle:
+            self._tick()
+        return self._finished
+
+    def result(self) -> SimulationResult:
+        """Aggregate statistics of a completed run."""
+        if not self._finished:
+            raise SimulationError(
+                f"kernel {self._kernel.name!r} still running at cycle "
+                f"{self._now}; result() requires a completed simulation"
+            )
         engine_events = sum(s.events + p.events for s, p in self._engines)
         return SimulationResult(
             stats=self.stats,
@@ -109,6 +205,37 @@ class GPUSimulator:
             config=self._config,
             kernel_name=self._kernel.name,
         )
+
+    def _tick(self) -> None:
+        """One iteration of the main loop: drain events, cycle SMs, advance."""
+        now = self._now
+        events = self._subsystem.events
+        events.run_until(now)
+        issued_any = False
+        for sm in self._sms:
+            issued_any |= sm.cycle(now)
+        if all(sm.done for sm in self._sms) and not len(events):
+            self._now = now + 1
+            self._prev_cycle = now
+            self._finished = True
+            self.stats.cycles = self._now
+            return
+        if self._integrity is not None:
+            self._integrity.maybe_check(self, now)
+        self.watchdog.observe(self, now)
+        if now >= self._config.max_cycles:
+            self.watchdog.budget_exceeded(self, now, self._config.max_cycles)
+        if issued_any:
+            self._now = now + 1
+        else:
+            self._now = self._fast_forward(now)
+        if self._now <= now:
+            raise InvariantError(
+                f"clock failed to advance past cycle {now}",
+                details={"cycle": now, "next_cycle": self._now,
+                         "invariant": "monotonic clock"},
+            )
+        self._prev_cycle = now
 
     def _fast_forward(self, now: int) -> int:
         """Jump to the next cycle at which anything can happen."""
@@ -120,7 +247,8 @@ class GPUSimulator:
         if wake is None:
             raise SimulationError(
                 f"kernel {self._kernel.name!r} deadlocked at cycle {now}: "
-                "no ready warps and no pending events"
+                "no ready warps and no pending events",
+                details=self.describe(now),
             )
         if wake <= now:
             return now + 1
@@ -128,6 +256,19 @@ class GPUSimulator:
         if skipped > 0:
             self.stats.idle_cycles += skipped * len(self._sms)
         return wake
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> bytes:
+        """Serialise the entire simulator state (resumable; see restore)."""
+        return dump_simulator(self)
+
+    @classmethod
+    def restore(cls, blob: bytes) -> "GPUSimulator":
+        """Rebuild a simulator from :meth:`snapshot` bytes."""
+        return load_simulator(blob)
 
 
 def simulate(

@@ -8,6 +8,7 @@ so raw counters stay the single source of truth.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 
@@ -121,9 +122,19 @@ class SimStats:
     idle_cycles: int = 0
     #: Load/store issues rejected because the LSU replay queue was busy.
     lsu_structural_stalls: int = 0
+    #: Invariant sweeps executed by the integrity layer (diagnostic only).
+    integrity_checks: int = 0
     l1: CacheStats = field(default_factory=CacheStats)
     memory: MemoryStats = field(default_factory=MemoryStats)
 
     @property
     def ipc(self) -> float:
         return self.instructions / self.cycles if self.cycles else 0.0
+
+    def as_dict(self) -> dict:
+        """Raw counters as a JSON-serialisable nested dict.
+
+        The sweep runner's JSONL records and the watchdog's dumps both use
+        this, so on-disk results stay diffable between runs.
+        """
+        return dataclasses.asdict(self)

@@ -1,0 +1,220 @@
+"""Integrity layer: invariant guards and the watchdog.
+
+Deliberately-broken engines and corrupted machine state must trip
+``InvariantError`` / ``WatchdogTimeout`` with structured diagnostics, and
+enabling the guards must never change simulated timing.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from conftest import broadcast_kernel, make_config, mixed_kernel, streaming_kernel
+from repro.errors import InvariantError, SimulationError, WatchdogTimeout
+from repro.integrity.invariants import InvariantChecker
+from repro.integrity.watchdog import Watchdog
+from repro.mem.mshr import MSHREntry
+from repro.prefetch.none import NullPrefetcher
+from repro.sched.base import WarpScheduler
+from repro.sched.lrr import LRRScheduler
+from repro.sm.simulator import GPUSimulator
+
+
+def lrr_engine():
+    return LRRScheduler(), NullPrefetcher()
+
+
+class StuckScheduler(WarpScheduler):
+    """A broken engine that refuses to issue anything: no warp ever retires."""
+
+    name = "stuck"
+
+    def select(self, candidates, cycle):
+        return None
+
+
+class _Requeue:
+    """A buggy fill path that perpetually re-defers itself: event churn,
+    clock progress, zero forward progress — textbook livelock."""
+
+    def __init__(self, events):
+        self.events = events
+
+    def __call__(self, when):
+        self.events.schedule(when + 1, self)
+
+
+def guarded_config(**overrides):
+    base = dict(integrity_interval=1, watchdog_cycles=0)
+    base.update(overrides)
+    return dataclasses.replace(make_config(), **base)
+
+
+class TestInvariantGuards:
+    def test_clean_run_passes_all_checks(self):
+        sim = GPUSimulator(mixed_kernel(8), guarded_config(), lrr_engine)
+        result = sim.run()
+        assert result.stats.integrity_checks > 0
+
+    def test_guards_are_timing_neutral(self):
+        kernel = mixed_kernel(8)
+        plain = GPUSimulator(kernel, make_config(), lrr_engine).run()
+        guarded = GPUSimulator(
+            kernel, guarded_config(watchdog_cycles=100_000), lrr_engine
+        ).run()
+        a, b = plain.stats.as_dict(), guarded.stats.as_dict()
+        differing = {k for k in a if a[k] != b[k]}
+        assert differing == {"integrity_checks"}
+
+    def test_leaked_mshr_entry_trips_invariant(self):
+        sim = GPUSimulator(streaming_kernel(6), guarded_config(), lrr_engine)
+        sim.step_until(50)
+        mshrs = sim.subsystem.l1s[0].mshrs
+        # Inject an entry behind the allocation counter's back: a leak.
+        mshrs._entries[0xDEAD00] = MSHREntry(0xDEAD00, 0, prefetch_only=False)
+        with pytest.raises(InvariantError, match="MSHR"):
+            sim.run()
+
+    def test_negative_outstanding_trips_invariant(self):
+        sim = GPUSimulator(broadcast_kernel(20), guarded_config(), lrr_engine)
+        # A warp with nothing in flight cannot reach the LSU's own underflow
+        # assertion — only the conservation sweep can see this corruption.
+        victim = None
+        while victim is None:
+            assert not sim.step_until(sim.current_cycle + 25), "kernel finished"
+            victim = next(
+                (w for w in sim.sms[0].warps
+                 if not w.finished and w.outstanding == 0),
+                None,
+            )
+        victim.outstanding = -1
+        with pytest.raises(InvariantError, match="negative"):
+            sim.run()
+
+    def test_request_conservation_trips_invariant(self):
+        sim = GPUSimulator(streaming_kernel(6), guarded_config(), lrr_engine)
+        sim.step_until(50)
+        sim.sms[0].mem_requests_issued += 3  # phantom issues
+        with pytest.raises(InvariantError, match="outstanding"):
+            sim.run()
+
+    def test_lost_warp_context_trips_invariant(self):
+        sim = GPUSimulator(streaming_kernel(6), guarded_config(), lrr_engine)
+        sim.step_until(50)
+        sim.sms[0].warps.pop()
+        with pytest.raises(InvariantError, match="warp contexts"):
+            sim.run()
+
+    def test_l1_accounting_corruption_trips_invariant(self):
+        sim = GPUSimulator(streaming_kernel(6), guarded_config(), lrr_engine)
+        sim.step_until(50)
+        sim.stats.l1.hits += 1  # hits + misses no longer equals accesses
+        with pytest.raises(InvariantError, match="accounting"):
+            sim.run()
+
+    def test_details_carry_structured_snapshot(self):
+        sim = GPUSimulator(streaming_kernel(6), guarded_config(), lrr_engine)
+        sim.step_until(50)
+        sim.stats.l1.hits += 1
+        with pytest.raises(InvariantError) as excinfo:
+            sim.run()
+        details = excinfo.value.details
+        assert details["invariant"]
+        assert isinstance(details["cycle"], int)
+        # The payload must be JSON-serialisable for dumps and sweep records.
+        json.dumps(details)
+
+    def test_checker_respects_cadence(self):
+        sim = GPUSimulator(
+            mixed_kernel(8), guarded_config(integrity_interval=1), lrr_engine
+        )
+        every = GPUSimulator(
+            mixed_kernel(8), guarded_config(integrity_interval=50), lrr_engine
+        )
+        sim.run()
+        every.run()
+        assert 0 < every.stats.integrity_checks < sim.stats.integrity_checks
+
+    def test_checker_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            InvariantChecker(0)
+
+
+class TestWatchdog:
+    def test_livelocked_engine_trips_watchdog(self):
+        cfg = guarded_config(integrity_interval=0, watchdog_cycles=200)
+        sim = GPUSimulator(
+            streaming_kernel(4), cfg, lambda: (StuckScheduler(), NullPrefetcher())
+        )
+        events = sim.subsystem.events
+        events.schedule(1, _Requeue(events))
+        with pytest.raises(WatchdogTimeout, match="no instruction issued") as excinfo:
+            sim.run()
+        details = excinfo.value.details
+        assert details["reason"]
+        assert details["sms"][0]["warps"], "per-warp status missing from dump"
+        assert "dram_queue_depths" in details["memory"]
+        assert details["memory"]["mshrs"][0]["capacity"] > 0
+
+    def test_watchdog_writes_json_dump(self, tmp_path):
+        cfg = guarded_config(integrity_interval=0, watchdog_cycles=200)
+        sim = GPUSimulator(
+            streaming_kernel(4), cfg, lambda: (StuckScheduler(), NullPrefetcher())
+        )
+        sim.watchdog.dump_dir = str(tmp_path)
+        events = sim.subsystem.events
+        events.schedule(1, _Requeue(events))
+        with pytest.raises(WatchdogTimeout) as excinfo:
+            sim.run()
+        dump_path = excinfo.value.details["dump_path"]
+        assert str(excinfo.value).count(dump_path)
+        with open(dump_path, encoding="utf-8") as fh:
+            dump = json.load(fh)
+        assert dump["kernel"] == "stream"
+        assert dump["sms"][0]["warps"]
+
+    def test_healthy_run_never_trips_watchdog(self):
+        cfg = guarded_config(integrity_interval=0, watchdog_cycles=10_000)
+        result = GPUSimulator(mixed_kernel(8), cfg, lrr_engine).run()
+        assert result.stats.instructions > 0
+
+    def test_cycle_budget_raises_watchdog_timeout(self):
+        cfg = dataclasses.replace(make_config(), max_cycles=100)
+        sim = GPUSimulator(streaming_kernel(50), cfg, lrr_engine)
+        with pytest.raises(WatchdogTimeout, match="exceeded") as excinfo:
+            sim.run()
+        # Budget aborts reuse the dump machinery: same structured payload.
+        assert excinfo.value.details["sms"]
+
+    def test_budget_timeout_is_a_simulation_error(self):
+        assert issubclass(WatchdogTimeout, SimulationError)
+
+    def test_dump_dir_defaults_from_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_DUMP_DIR", str(tmp_path))
+        cfg = dataclasses.replace(make_config(), max_cycles=100)
+        sim = GPUSimulator(streaming_kernel(50), cfg, lrr_engine)
+        with pytest.raises(WatchdogTimeout) as excinfo:
+            sim.run()
+        dump_path = excinfo.value.details["dump_path"]
+        assert dump_path.startswith(str(tmp_path))
+        assert json.load(open(dump_path, encoding="utf-8"))["sms"]
+
+    def test_disabled_watchdog_never_observes(self):
+        wd = Watchdog(0)
+        wd.observe(object(), 10**9)  # must not touch the simulator at all
+
+    def test_watchdog_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            Watchdog(-1)
+
+
+class TestDeadlockDiagnostics:
+    def test_fast_forward_deadlock_carries_snapshot(self):
+        sim = GPUSimulator(streaming_kernel(4), make_config(), lrr_engine)
+        sim.step_until(20)
+        # Drop all pending events: warps wait on fills that never arrive.
+        sim.subsystem.events._heap.clear()
+        with pytest.raises(SimulationError, match="deadlock") as excinfo:
+            sim.run()
+        assert excinfo.value.details["sms"]
