@@ -14,12 +14,14 @@ Quick start::
     print(result.ipc, speedup("BFS", "apres", scale=0.3))
 """
 
+from repro.analysis import run_lint
 from repro.config import APRESConfig, CacheConfig, DRAMConfig, GPUConfig
 from repro.core import APRESPair, LAWSScheduler, SAPPrefetcher, build_apres, hardware_cost
 from repro.errors import (
     CheckpointError,
     ConfigError,
     InvariantError,
+    LintError,
     ReproError,
     SimulationError,
     WatchdogTimeout,
@@ -50,7 +52,9 @@ __all__ = [
     "CheckpointError",
     "ConfigError",
     "InvariantError",
+    "LintError",
     "ReproError",
+    "run_lint",
     "SimulationError",
     "WatchdogTimeout",
     "WorkloadError",

@@ -1,0 +1,46 @@
+"""simlint: simulator-aware static analysis for the APRES reproduction.
+
+An AST-based lint pass that proves — before any cycle is simulated — the
+properties the runtime integrity layer (:mod:`repro.integrity`) can only
+check after hours of simulation have burned:
+
+* **SL001 determinism** — no hash-order iteration, ``id()`` ordering, or
+  unseeded ``random`` in simulator hot paths;
+* **SL002 picklability** — no lambdas/closures/local classes stored on
+  the checkpointable object graph (they break
+  ``GPUSimulator.snapshot()``);
+* **SL003 counter hygiene** — every stats counter declared in
+  :mod:`repro.stats.counters` and actually updated;
+* **SL004 registry completeness** — every scheduler/prefetcher class
+  registered, every registry entry resolvable;
+* **SL005 frozen-config mutation** — configs change only through
+  ``dataclasses.replace``.
+
+Run it with ``python -m repro lint [PATH ...]``; suppress one line with
+``# simlint: ignore[SL001]``. See DESIGN.md § "Static analysis".
+"""
+
+from repro.analysis.engine import (
+    HOT_PACKAGES,
+    Finding,
+    LintResult,
+    ModuleInfo,
+    Project,
+    Reporter,
+    Rule,
+    run_lint,
+)
+from repro.analysis.rules import ALL_RULES, build_all_rules
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "HOT_PACKAGES",
+    "LintResult",
+    "ModuleInfo",
+    "Project",
+    "Reporter",
+    "Rule",
+    "build_all_rules",
+    "run_lint",
+]

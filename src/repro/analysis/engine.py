@@ -1,0 +1,307 @@
+"""simlint rule engine: file discovery, parsing, suppressions, rule driving.
+
+The engine walks Python files, parses each into an AST, runs every
+registered rule over every module, gives cross-module rules a second
+``finish`` pass over the whole project, and then drops findings that a
+``# simlint: ignore[...]`` comment suppresses.
+
+Rules never do I/O and never import the code under analysis — everything
+is derived from the AST and raw source, so the linter is safe to run on
+broken or hostile trees and cannot perturb simulation state.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, ClassVar, Iterable, Mapping, Optional, Sequence
+
+from repro.analysis.finding import Finding
+from repro.errors import LintError
+
+#: Pseudo-rule code attached to files that fail to parse.
+PARSE_RULE = "SL000"
+
+#: Package-directory names whose modules form the simulator's hot path /
+#: checkpointable object graph. Rules that would be too noisy repo-wide
+#: (dict-view iteration order, closure storage) only apply here.
+HOT_PACKAGES = frozenset({"sm", "mem", "sched", "prefetch", "core", "integrity", "stats"})
+
+_SUPPRESS_RE = re.compile(r"#\s*simlint:\s*ignore(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?")
+_SKIP_FILE_RE = re.compile(r"#\s*simlint:\s*skip-file")
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus the metadata rules key off."""
+
+    path: Path
+    display_path: str
+    source: str
+    tree: ast.Module
+    #: Per-line suppressions: line number -> rule codes (empty set = all rules).
+    suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    @property
+    def is_hot(self) -> bool:
+        """True when the file lives under a hot-path package directory."""
+        return any(part in HOT_PACKAGES for part in self.path.parts)
+
+    @property
+    def name(self) -> str:
+        """Module stem, e.g. ``registry`` for ``sched/registry.py``."""
+        return self.path.stem
+
+
+@dataclass
+class Project:
+    """All modules of one lint run, for cross-module rules."""
+
+    modules: list[ModuleInfo]
+
+    def by_directory(self) -> dict[Path, list[ModuleInfo]]:
+        """Group modules by parent directory (≈ by package)."""
+        grouped: dict[Path, list[ModuleInfo]] = {}
+        for module in self.modules:
+            grouped.setdefault(module.path.parent, []).append(module)
+        return grouped
+
+
+class Reporter:
+    """Accumulates findings on behalf of rules."""
+
+    def __init__(self) -> None:
+        self._findings: list[Finding] = []
+
+    def report(
+        self,
+        rule: str,
+        module: ModuleInfo,
+        node: Optional[ast.AST],
+        message: str,
+        *,
+        line: Optional[int] = None,
+        col: Optional[int] = None,
+    ) -> None:
+        """Record one finding, locating it at ``node`` unless overridden."""
+        at_line = line if line is not None else getattr(node, "lineno", 1)
+        at_col = col if col is not None else getattr(node, "col_offset", 0)
+        self._findings.append(
+            Finding(module.display_path, int(at_line), int(at_col), rule, message)
+        )
+
+    @property
+    def findings(self) -> list[Finding]:
+        return list(self._findings)
+
+
+class Rule(abc.ABC):
+    """Base class for simlint rules.
+
+    ``check_module`` runs once per file; ``finish`` runs once per lint
+    invocation after every file has been seen, which is where cross-module
+    rules (counter hygiene, registry completeness) emit their findings.
+    Rule instances are created fresh for every run, so accumulating state
+    on ``self`` between ``check_module`` calls is safe.
+    """
+
+    code: ClassVar[str]
+    title: ClassVar[str]
+
+    @abc.abstractmethod
+    def check_module(self, module: ModuleInfo, reporter: Reporter) -> None:
+        """Inspect one parsed module."""
+
+    def finish(self, project: Project, reporter: Reporter) -> None:
+        """Project-wide pass after all modules were seen (default: no-op)."""
+
+
+@dataclass
+class LintResult:
+    """Outcome of one engine run."""
+
+    findings: list[Finding]
+    files_scanned: int
+    rules: dict[str, str]
+    project: Project
+    #: Populated by the CLI when ``--verify-against-runtime`` ran.
+    runtime_check: Optional[dict[str, Any]] = None
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def as_json_dict(self) -> dict[str, Any]:
+        """The stable JSON schema of ``python -m repro lint --format json``."""
+        return {
+            "tool": "simlint",
+            "schema_version": 1,
+            "files_scanned": self.files_scanned,
+            "rules": self.rules,
+            "findings": [f.as_dict() for f in self.findings],
+            "summary": {"total": len(self.findings), "by_rule": self.by_rule()},
+            "runtime_check": self.runtime_check,
+        }
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map line numbers to suppressed rule codes.
+
+    ``# simlint: ignore`` suppresses every rule on its line;
+    ``# simlint: ignore[SL001, SL003]`` suppresses just those codes.
+    """
+    suppressions: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            suppressions[lineno] = frozenset()
+        else:
+            suppressions[lineno] = frozenset(
+                c.strip().upper() for c in codes.split(",") if c.strip()
+            )
+    return suppressions
+
+
+def _is_suppressed(finding: Finding, module: ModuleInfo) -> bool:
+    codes = module.suppressions.get(finding.line)
+    if codes is None:
+        return False
+    return not codes or finding.rule in codes
+
+
+def discover_files(paths: Sequence[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(p for p in path.rglob("*.py") if p.is_file()))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise LintError(f"no such file or directory: {path}",
+                            details={"path": str(path)})
+    # De-duplicate while keeping order stable.
+    seen: set[Path] = set()
+    unique: list[Path] = []
+    for path in files:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return str(path.relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+def load_module(path: Path) -> "ModuleInfo | Finding":
+    """Parse one file; a syntax error becomes an ``SL000`` finding."""
+    display = _display_path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        raise LintError(f"cannot read {display}: {exc}",
+                        details={"path": display}) from exc
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return Finding(display, exc.lineno or 1, (exc.offset or 1) - 1,
+                       PARSE_RULE, f"file does not parse: {exc.msg}")
+    return ModuleInfo(
+        path=path,
+        display_path=display,
+        source=source,
+        tree=tree,
+        suppressions=parse_suppressions(source),
+    )
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every registered rule (SL001–SL005)."""
+    from repro.analysis.rules import build_all_rules
+
+    return build_all_rules()
+
+
+def run_lint(
+    paths: Sequence["Path | str"],
+    rule_codes: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Lint ``paths`` (files or directories) and return the result.
+
+    ``rule_codes`` restricts the run to a subset of rules; unknown codes
+    raise :class:`~repro.errors.LintError` (exit code 2 at the CLI).
+    """
+    rules = default_rules()
+    available: Mapping[str, Rule] = {rule.code: rule for rule in rules}
+    if rule_codes is not None:
+        wanted = [code.strip().upper() for code in rule_codes if code.strip()]
+        unknown = sorted(set(wanted) - set(available))
+        if unknown:
+            raise LintError(
+                f"unknown rule code(s): {', '.join(unknown)}",
+                details={"unknown": unknown, "known": sorted(available)},
+            )
+        rules = [available[code] for code in dict.fromkeys(wanted)]
+
+    files = discover_files([Path(p) for p in paths])
+    modules: list[ModuleInfo] = []
+    findings: list[Finding] = []
+    for path in files:
+        loaded = load_module(path)
+        if isinstance(loaded, Finding):
+            findings.append(loaded)
+            continue
+        if any(_SKIP_FILE_RE.search(line)
+               for line in loaded.source.splitlines()[:5]):
+            continue
+        modules.append(loaded)
+
+    project = Project(modules)
+    reporter = Reporter()
+    for rule in rules:
+        for module in modules:
+            try:
+                rule.check_module(module, reporter)
+            except Exception as exc:
+                raise LintError(
+                    f"rule {rule.code} crashed on {module.display_path}: {exc!r}",
+                    details={"rule": rule.code, "path": module.display_path},
+                ) from exc
+        try:
+            rule.finish(project, reporter)
+        except Exception as exc:
+            raise LintError(
+                f"rule {rule.code} crashed in its project pass: {exc!r}",
+                details={"rule": rule.code},
+            ) from exc
+
+    by_path = {module.display_path: module for module in modules}
+    for finding in reporter.findings:
+        module = by_path.get(finding.path)
+        if module is not None and _is_suppressed(finding, module):
+            continue
+        findings.append(finding)
+
+    return LintResult(
+        findings=sorted(findings),
+        files_scanned=len(files),
+        rules={rule.code: rule.title for rule in rules},
+        project=project,
+    )

@@ -1,0 +1,37 @@
+"""Finding record emitted by simlint rules.
+
+A finding is one concrete defect at one source location. Findings are
+value objects: frozen, ordered (so reports are stable across runs — the
+linter holds itself to the determinism bar it enforces), and
+JSON-serialisable via :meth:`Finding.as_dict`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    #: Path of the offending file, as given to the engine.
+    path: str
+    #: 1-based line of the offending node.
+    line: int
+    #: 0-based column of the offending node.
+    col: int
+    #: Rule code, e.g. ``"SL001"``.
+    rule: str
+    #: Human-readable description including the suggested fix.
+    message: str
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (keys match the schema in DESIGN.md)."""
+        return dataclasses.asdict(self)
+
+    def render(self) -> str:
+        """One-line human-readable form: ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

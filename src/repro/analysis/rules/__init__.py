@@ -1,0 +1,31 @@
+"""Built-in simlint rules (SL001–SL005).
+
+Each rule lives in its own module and registers here. ``build_all_rules``
+returns fresh instances for one engine run — rules carry per-run state
+(collected counters, registries) between ``check_module`` and ``finish``.
+To add a rule: subclass :class:`repro.analysis.engine.Rule`, give it a
+unique ``code``/``title``, and append its class to ``ALL_RULES``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import Rule
+from repro.analysis.rules.counters import CounterHygieneRule
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.frozen_config import FrozenConfigRule
+from repro.analysis.rules.picklability import PicklabilityRule
+from repro.analysis.rules.registries import RegistryCompletenessRule
+
+#: Every registered rule class, in code order.
+ALL_RULES: tuple[type[Rule], ...] = (
+    DeterminismRule,
+    PicklabilityRule,
+    CounterHygieneRule,
+    RegistryCompletenessRule,
+    FrozenConfigRule,
+)
+
+
+def build_all_rules() -> list[Rule]:
+    """Fresh rule instances for one lint run."""
+    return [rule_class() for rule_class in ALL_RULES]

@@ -1,0 +1,346 @@
+"""SL001 — determinism: hash-order iteration, ``id()`` ordering, unseeded RNG.
+
+Bit-identical cycle counts require every iteration the simulator performs
+to have one well-defined order. This rule flags the three ways Python
+silently breaks that:
+
+* order-sensitive iteration over a ``set``/``frozenset`` (hash order —
+  varies across processes for str/object elements under hash
+  randomisation);
+* in hot-path modules only, order-sensitive iteration over dict views
+  (``.keys()``/``.values()``/``.items()``). Dict order *is* insertion
+  order in CPython, so this is advisory: wrap in ``sorted(...)`` or add a
+  suppression comment documenting why the insertion order is
+  deterministic;
+* ``id()``-based ordering or keying (identity addresses change run to
+  run) and use of the process-global :mod:`random` module (unseeded;
+  simulations must thread an explicitly seeded ``random.Random(seed)``).
+
+Order-insensitive sinks (``sorted``, ``sum``, ``min``, ``max``, ``any``,
+``all``, ``len``, ``set``, ``frozenset``) and membership tests are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis.engine import ModuleInfo, Reporter, Rule
+
+#: Builtins that consume an iterable without exposing its order.
+ORDER_INSENSITIVE_SINKS = frozenset(
+    {"sorted", "sum", "min", "max", "any", "all", "len", "set", "frozenset"}
+)
+
+#: Builtins that materialise an iterable *in iteration order*.
+ORDER_SENSITIVE_CONVERTERS = frozenset({"list", "tuple", "dict", "enumerate", "iter"})
+
+#: Type names treated as set-like in annotations.
+SET_TYPE_NAMES = frozenset(
+    {"set", "frozenset", "Set", "FrozenSet", "MutableSet", "AbstractSet"}
+)
+
+_DICT_VIEW_METHODS = frozenset({"keys", "values", "items"})
+
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+def _annotation_is_set(annotation: Optional[ast.expr]) -> bool:
+    """True if an annotation expression denotes a set-like type."""
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Subscript):
+        return _annotation_is_set(annotation.value)
+    if isinstance(annotation, ast.Name):
+        return annotation.id in SET_TYPE_NAMES
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr in SET_TYPE_NAMES
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        head = annotation.value.strip().split("[", 1)[0].strip()
+        return head.rsplit(".", 1)[-1] in SET_TYPE_NAMES
+    return False
+
+
+def _is_set_literal(expr: ast.expr) -> bool:
+    """Set display, set comprehension, or a ``set()``/``frozenset()`` call."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        return expr.func.id in {"set", "frozenset"}
+    return False
+
+
+def _dict_view_call(expr: ast.expr) -> Optional[str]:
+    """Return the view method name when ``expr`` is ``X.keys()`` etc."""
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr in _DICT_VIEW_METHODS
+        and not expr.args
+        and not expr.keywords
+    ):
+        return expr.func.attr
+    return None
+
+
+class _Scope:
+    """One lexical scope's set-typed names, chained to its parent."""
+
+    __slots__ = ("parent", "set_names")
+
+    def __init__(self, parent: Optional["_Scope"]) -> None:
+        self.parent = parent
+        self.set_names: set[str] = set()
+
+    def is_set(self, name: str) -> bool:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.set_names:
+                return True
+            scope = scope.parent
+        return False
+
+
+def _class_set_attributes(classdef: ast.ClassDef) -> set[str]:
+    """Names of ``self.<attr>`` slots a class assigns set literals to."""
+    attrs: set[str] = set()
+    for stmt in classdef.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if _annotation_is_set(stmt.annotation):
+                attrs.add(stmt.target.id)
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and _is_set_literal(node.value)
+                    ):
+                        attrs.add(target.attr)
+            elif isinstance(node, ast.AnnAssign):
+                target = node.target
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and (_annotation_is_set(node.annotation)
+                         or (node.value is not None and _is_set_literal(node.value)))
+                ):
+                    attrs.add(target.attr)
+    return attrs
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    """Single-module walker tracking set-typed names per lexical scope."""
+
+    def __init__(self, module: ModuleInfo, reporter: Reporter) -> None:
+        self._module = module
+        self._reporter = reporter
+        self._scope = _Scope(None)
+        self._class_attrs: list[set[str]] = []
+        #: Comprehensions passed directly to an order-insensitive sink.
+        self._exempt: set[ast.AST] = set()
+
+    # -- scope plumbing -------------------------------------------------
+
+    def _push_scope(self) -> _Scope:
+        self._scope = _Scope(self._scope)
+        return self._scope
+
+    def _pop_scope(self) -> None:
+        assert self._scope.parent is not None
+        self._scope = self._scope.parent
+
+    def _visit_function(self, node: "ast.FunctionDef | ast.AsyncFunctionDef") -> None:
+        self._push_scope()
+        args = node.args
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            if _annotation_is_set(arg.annotation):
+                self._scope.set_names.add(arg.arg)
+        self.generic_visit(node)
+        self._pop_scope()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._push_scope()
+        self.generic_visit(node)
+        self._pop_scope()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_attrs.append(_class_set_attributes(node))
+        self._push_scope()
+        self.generic_visit(node)
+        self._pop_scope()
+        self._class_attrs.pop()
+
+    # -- set-type inference ---------------------------------------------
+
+    def _is_setish(self, expr: ast.expr) -> bool:
+        if _is_set_literal(expr):
+            return True
+        if isinstance(expr, ast.Name):
+            return self._scope.is_set(expr.id)
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and self._class_attrs
+        ):
+            return expr.attr in self._class_attrs[-1]
+        if isinstance(expr, ast.BinOp) and isinstance(expr.op, _SET_OPS):
+            return self._is_setish(expr.left) or self._is_setish(expr.right)
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            if self._is_setish(node.value):
+                self._scope.set_names.add(node.targets[0].id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            if _annotation_is_set(node.annotation) or (
+                node.value is not None and self._is_setish(node.value)
+            ):
+                self._scope.set_names.add(node.target.id)
+        self.generic_visit(node)
+
+    # -- iteration sites -------------------------------------------------
+
+    def _check_iteration(self, expr: ast.expr, node: ast.AST) -> None:
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id in ORDER_INSENSITIVE_SINKS
+        ):
+            return
+        if self._is_setish(expr):
+            self._reporter.report(
+                DeterminismRule.code, self._module, node,
+                "order-sensitive iteration over a set: set order is "
+                "hash-dependent and varies between runs; wrap in sorted(...)",
+            )
+            return
+        view = _dict_view_call(expr)
+        if view is not None and self._module.is_hot:
+            self._reporter.report(
+                DeterminismRule.code, self._module, node,
+                f"order-sensitive iteration over dict view .{view}() in a "
+                "hot-path module; wrap in sorted(...) or add "
+                "'# simlint: ignore[SL001]' with a note proving the "
+                "insertion order is deterministic",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter, node.iter)
+        self.generic_visit(node)
+
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        self._check_iteration(node.value, node.value)
+        self.generic_visit(node)
+
+    def _visit_comprehension(
+        self,
+        node: "ast.ListComp | ast.SetComp | ast.GeneratorExp | ast.DictComp",
+    ) -> None:
+        exempt = node in self._exempt
+        order_insensitive = exempt or isinstance(node, ast.SetComp)
+        for generator in node.generators:
+            if not order_insensitive:
+                self._check_iteration(generator.iter, generator.iter)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comprehension(node)
+
+    # -- calls: converters, sinks, id(), random --------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in ORDER_INSENSITIVE_SINKS:
+                for arg in node.args:
+                    if isinstance(
+                        arg,
+                        (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp),
+                    ):
+                        self._exempt.add(arg)
+            elif func.id in ORDER_SENSITIVE_CONVERTERS and node.args:
+                self._check_iteration(node.args[0], node.args[0])
+            if func.id == "id":
+                self._reporter.report(
+                    DeterminismRule.code, self._module, node,
+                    "id() values are process-specific memory addresses; "
+                    "never order, hash, or key simulation state by id()",
+                )
+            if func.id in {"sorted", "min", "max"}:
+                for keyword in node.keywords:
+                    if (
+                        keyword.arg == "key"
+                        and isinstance(keyword.value, ast.Name)
+                        and keyword.value.id == "id"
+                    ):
+                        self._reporter.report(
+                            DeterminismRule.code, self._module, keyword.value,
+                            "ordering by key=id is nondeterministic across "
+                            "runs; sort by a stable field instead",
+                        )
+        elif isinstance(func, ast.Attribute):
+            value = func.value
+            if isinstance(value, ast.Name) and value.id == "random":
+                if func.attr == "Random":
+                    if not node.args and not node.keywords:
+                        self._reporter.report(
+                            DeterminismRule.code, self._module, node,
+                            "random.Random() without a seed draws from OS "
+                            "entropy; pass an explicit seed",
+                        )
+                else:
+                    self._reporter.report(
+                        DeterminismRule.code, self._module, node,
+                        f"random.{func.attr}() uses the process-global "
+                        "unseeded RNG; thread an explicitly seeded "
+                        "random.Random(seed) through the simulation instead",
+                    )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            names = ", ".join(alias.name for alias in node.names)
+            if any(alias.name != "Random" for alias in node.names):
+                self._reporter.report(
+                    DeterminismRule.code, self._module, node,
+                    f"'from random import {names}' binds process-global "
+                    "unseeded RNG functions; use an explicitly seeded "
+                    "random.Random(seed) instance",
+                )
+        self.generic_visit(node)
+
+
+class DeterminismRule(Rule):
+    """SL001: nondeterministic iteration order or randomness."""
+
+    code = "SL001"
+    title = "determinism: hash-order iteration, id() ordering, unseeded random"
+
+    def check_module(self, module: ModuleInfo, reporter: Reporter) -> None:
+        _DeterminismVisitor(module, reporter).visit(module.tree)

@@ -1,0 +1,164 @@
+"""SL005 — frozen-config mutation: configs change only via ``replace``.
+
+``GPUConfig`` (and its nested ``CacheConfig``/``DRAMConfig``/
+``APRESConfig``) are frozen dataclasses: the memoised runner hashes them
+as cache keys and sweeps serialise them into results records, so a
+mutated config silently aliases cached results from a different machine
+configuration. At runtime a direct assignment raises
+``FrozenInstanceError`` — but only on the code path that executes, which
+for sweep edge cases can be hours in. This rule finds the assignment
+statically.
+
+Flagged: attribute assignment (or ``setattr``/``object.__setattr__``)
+whose receiver is statically config-typed — a name or attribute whose
+identifier is ``config``/``cfg`` (or ends with them), or a name
+annotated with a ``*Config`` type. Exempt: ``__init__``/``__post_init__``
+inside the ``*Config`` classes themselves, where frozen dataclasses
+legitimately use ``object.__setattr__``. The correct mutation idiom is
+``dataclasses.replace`` (see ``GPUConfig.with_limits``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis.engine import ModuleInfo, Reporter, Rule
+
+_CONFIG_INIT_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
+
+
+def _annotation_name(annotation: Optional[ast.expr]) -> str:
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return annotation.value.strip().split("[", 1)[0].split("|", 1)[0].strip()
+    return ""
+
+
+def _config_like_identifier(name: str) -> bool:
+    lowered = name.lower().lstrip("_")
+    return lowered in {"config", "cfg"} or lowered.endswith("config") or lowered.endswith("cfg")
+
+
+class _FrozenConfigVisitor(ast.NodeVisitor):
+    """Flags attribute stores on config-typed receivers."""
+
+    def __init__(self, module: ModuleInfo, reporter: Reporter) -> None:
+        self._module = module
+        self._reporter = reporter
+        #: Enclosing (class name, function name) context stack.
+        self._classes: list[str] = []
+        self._functions: list[str] = []
+        #: Names annotated with a *Config type in the current function.
+        self._config_names: list[set[str]] = [set()]
+
+    # -- context ---------------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._classes.append(node.name)
+        self.generic_visit(node)
+        self._classes.pop()
+
+    def _visit_function(self, node: "ast.FunctionDef | ast.AsyncFunctionDef") -> None:
+        annotated = {
+            arg.arg
+            for arg in (list(node.args.posonlyargs) + list(node.args.args)
+                        + list(node.args.kwonlyargs))
+            if _annotation_name(arg.annotation).endswith("Config")
+        }
+        self._functions.append(node.name)
+        self._config_names.append(annotated)
+        self.generic_visit(node)
+        self._config_names.pop()
+        self._functions.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    # -- receiver classification -----------------------------------------
+
+    def _is_config_receiver(self, expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Name):
+            if _config_like_identifier(expr.id):
+                return True
+            return any(expr.id in names for names in self._config_names)
+        if isinstance(expr, ast.Attribute):
+            return _config_like_identifier(expr.attr)
+        return False
+
+    def _in_config_class_init(self) -> bool:
+        return bool(
+            self._classes
+            and self._classes[-1].endswith("Config")
+            and self._functions
+            and self._functions[-1] in _CONFIG_INIT_METHODS
+        )
+
+    def _flag(self, node: ast.AST, receiver: str, attr: str) -> None:
+        self._reporter.report(
+            FrozenConfigRule.code, self._module, node,
+            f"mutating config attribute {receiver}.{attr}: configs are "
+            "frozen (runner cache keys hash them); derive a new instance "
+            "with dataclasses.replace(...) or a with_*() helper instead",
+        )
+
+    # -- assignment forms -------------------------------------------------
+
+    def _check_target(self, target: ast.expr, node: ast.AST) -> None:
+        if not isinstance(target, ast.Attribute):
+            return
+        if self._in_config_class_init():
+            return
+        if self._is_config_receiver(target.value):
+            receiver = ast.unparse(target.value)
+            self._flag(node, receiver, target.attr)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_target(node.target, node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        is_setattr = isinstance(func, ast.Name) and func.id == "setattr"
+        is_object_setattr = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "__setattr__"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "object"
+        )
+        if (
+            (is_setattr or is_object_setattr)
+            and node.args
+            and self._is_config_receiver(node.args[0])
+            and not self._in_config_class_init()
+        ):
+            attr = "<dynamic>"
+            if len(node.args) > 1 and isinstance(node.args[1], ast.Constant):
+                attr = str(node.args[1].value)
+            self._flag(node, ast.unparse(node.args[0]), attr)
+        self.generic_visit(node)
+
+
+class FrozenConfigRule(Rule):
+    """SL005: no attribute assignment on config objects outside construction."""
+
+    code = "SL005"
+    title = "frozen-config mutation: configs change only via dataclasses.replace"
+
+    def check_module(self, module: ModuleInfo, reporter: Reporter) -> None:
+        _FrozenConfigVisitor(module, reporter).visit(module.tree)

@@ -1,0 +1,129 @@
+"""SL002 — picklability: closures and local classes on checkpointable state.
+
+``GPUSimulator.snapshot()`` pickles the whole simulator object graph —
+warp contexts, scheduler tables, MSHR callback lists, pending events.
+Pickle cannot serialise lambdas, functions defined inside other
+functions, or locally-defined classes; storing one on any object in the
+graph makes every later checkpoint fail (hours into a run, under
+``CheckpointError``). The runtime counterpart of this rule is
+:func:`repro.integrity.checkpoint.dump_simulator`, which surfaces the
+same defect only once a snapshot is attempted.
+
+Within hot-path modules (the packages whose objects end up in the
+pickled graph) this rule flags:
+
+* lambdas assigned to object attributes or stored via subscript;
+* names of function-local ``def``/``class`` definitions assigned to
+  object attributes (closure capture);
+* lambdas or local definitions passed into storage-shaped calls
+  (``append``, ``add``, ``schedule``, ``register`` …).
+
+Module-level callable classes with ``__slots__`` (see ``_WarpMemDone`` in
+:mod:`repro.sm.pipeline`) are the picklable replacement — the fix this
+rule's message points at.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis.engine import ModuleInfo, Reporter, Rule
+
+#: Method names whose arguments are (heuristically) stored on the receiver.
+STORAGE_SINKS = frozenset(
+    {"append", "appendleft", "add", "insert", "register", "schedule",
+     "push", "setdefault", "extend"}
+)
+
+_FIX = ("store a module-level callable object instead (a small class with "
+        "__slots__ and __call__ pickles cleanly)")
+
+
+class _PicklabilityVisitor(ast.NodeVisitor):
+    """Walks one module tracking which names are local (nested) definitions."""
+
+    def __init__(self, module: ModuleInfo, reporter: Reporter) -> None:
+        self._module = module
+        self._reporter = reporter
+        #: Stack of per-function sets of locally-defined function/class names.
+        self._local_defs: list[set[str]] = []
+
+    def _is_local_def(self, expr: ast.expr) -> bool:
+        return (
+            isinstance(expr, ast.Name)
+            and any(expr.id in names for names in self._local_defs)
+        )
+
+    def _is_unpicklable(self, expr: ast.expr) -> Optional[str]:
+        """Describe why ``expr`` would poison a checkpoint, if it would."""
+        if isinstance(expr, ast.Lambda):
+            return "a lambda"
+        if isinstance(expr, ast.Name) and self._is_local_def(expr):
+            return f"locally-defined '{expr.id}'"
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and self._is_local_def(expr.func)
+        ):
+            return f"an instance of locally-defined class '{expr.func.id}'"
+        return None
+
+    def _visit_function(self, node: "ast.FunctionDef | ast.AsyncFunctionDef") -> None:
+        names = {
+            stmt.name
+            for stmt in ast.walk(node)
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+            and stmt is not node
+        }
+        self._local_defs.append(names)
+        self.generic_visit(node)
+        self._local_defs.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                reason = self._is_unpicklable(node.value)
+                if reason is not None:
+                    where = ("attribute" if isinstance(target, ast.Attribute)
+                             else "container slot")
+                    self._reporter.report(
+                        PicklabilityRule.code, self._module, node,
+                        f"storing {reason} on an object {where} breaks "
+                        f"GPUSimulator.snapshot() pickling; {_FIX}",
+                    )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in STORAGE_SINKS
+        ):
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                reason = self._is_unpicklable(arg)
+                if reason is not None:
+                    self._reporter.report(
+                        PicklabilityRule.code, self._module, arg,
+                        f"passing {reason} into .{node.func.attr}(...) stores "
+                        f"it on checkpointable state, which breaks "
+                        f"GPUSimulator.snapshot() pickling; {_FIX}",
+                    )
+        self.generic_visit(node)
+
+
+class PicklabilityRule(Rule):
+    """SL002: unpicklable callables stored on checkpointable objects."""
+
+    code = "SL002"
+    title = "picklability: no lambdas/closures/local classes on checkpointable state"
+
+    def check_module(self, module: ModuleInfo, reporter: Reporter) -> None:
+        if not module.is_hot:
+            return
+        _PicklabilityVisitor(module, reporter).visit(module.tree)

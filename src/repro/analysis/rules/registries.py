@@ -1,0 +1,147 @@
+"""SL004 — registry completeness: pluggable classes registered and resolvable.
+
+Schedulers and prefetchers are constructed by name through the registry
+dicts in ``repro/sched/registry.py`` and ``repro/prefetch/registry.py``.
+A class that exists but is not registered is dead weight (no experiment
+can select it, no sweep covers it); a registry entry that names a class
+which no sibling module defines explodes only when a user asks for that
+configuration. The runtime counterpart is ``make_scheduler`` /
+``make_prefetcher`` raising ``ValueError`` — after the sweep already
+started.
+
+The rule is structural, so it works on any package shaped like the
+repo's plugin dirs: a directory containing ``registry.py`` (with a
+module-level UPPER_CASE dict of name → class) and ``base.py`` (defining
+the abstract base). Every public class in the directory's other modules
+that transitively subclasses a base-module class must appear among the
+registry values, and every registry value must be defined in the
+directory.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis.engine import ModuleInfo, Project, Reporter, Rule
+
+_EXCLUDED_MODULES = frozenset({"__init__", "base", "registry"})
+
+
+def _top_level_classes(module: ModuleInfo) -> list[ast.ClassDef]:
+    return [node for node in module.tree.body if isinstance(node, ast.ClassDef)]
+
+
+def _base_names(node: ast.ClassDef) -> set[str]:
+    names: set[str] = set()
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+def _registry_dicts(module: ModuleInfo) -> list[tuple[str, ast.Dict, ast.Assign]]:
+    """Module-level ``UPPER_CASE = { ... }`` dict assignments."""
+    found: list[tuple[str, ast.Dict, ast.Assign]] = []
+    for node in module.tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id.isupper()
+            and isinstance(node.value, ast.Dict)
+        ):
+            found.append((node.targets[0].id, node.value, node))
+    return found
+
+
+def _value_class_name(value: ast.expr) -> Optional[str]:
+    if isinstance(value, ast.Name):
+        return value.id
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    return None
+
+
+class RegistryCompletenessRule(Rule):
+    """SL004: every plugin class registered, every registry entry resolvable."""
+
+    code = "SL004"
+    title = "registry completeness: plugin classes registered and entries resolvable"
+
+    def check_module(self, module: ModuleInfo, reporter: Reporter) -> None:
+        # All work happens in the project pass (needs the sibling modules).
+        return
+
+    def finish(self, project: Project, reporter: Reporter) -> None:
+        for _directory, modules in sorted(project.by_directory().items()):
+            by_name = {module.name: module for module in modules}
+            registry = by_name.get("registry")
+            base = by_name.get("base")
+            if registry is None or base is None:
+                continue
+            self._check_package(by_name, registry, base, reporter)
+
+    def _check_package(
+        self,
+        by_name: dict[str, ModuleInfo],
+        registry: ModuleInfo,
+        base: ModuleInfo,
+        reporter: Reporter,
+    ) -> None:
+        base_classes = {cls.name for cls in _top_level_classes(base)}
+
+        # Transitive closure: classes in plugin modules subclassing a base.
+        defined: dict[str, tuple[ModuleInfo, ast.ClassDef]] = {}
+        for module in by_name.values():
+            if module.name == "registry":
+                continue
+            for cls in _top_level_classes(module):
+                defined[cls.name] = (module, cls)
+        registrable_roots = set(base_classes)
+        registrable: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name, (module, cls) in defined.items():
+                if module.name in _EXCLUDED_MODULES or name in registrable:
+                    continue
+                if name.startswith("_"):
+                    continue
+                if _base_names(cls) & (registrable_roots | registrable):
+                    registrable.add(name)
+                    changed = True
+
+        registered: set[str] = set()
+        dicts = _registry_dicts(registry)
+        for dict_name, dict_node, _assign in dicts:
+            for key, value in zip(dict_node.keys, dict_node.values):
+                class_name = _value_class_name(value)
+                if class_name is None:
+                    continue
+                registered.add(class_name)
+                if class_name not in defined and class_name not in base_classes:
+                    key_repr = (
+                        repr(key.value)
+                        if isinstance(key, ast.Constant) else "<non-constant>"
+                    )
+                    reporter.report(
+                        self.code, registry, value,
+                        f"registry {dict_name} entry {key_repr} -> "
+                        f"{class_name} does not resolve: no module in this "
+                        "package defines that class",
+                    )
+
+        if not dicts:
+            return
+        dict_names = ", ".join(name for name, _dict, _assign in dicts)
+        for name in sorted(registrable - registered):
+            module, cls = defined[name]
+            reporter.report(
+                self.code, module, cls,
+                f"class {name} subclasses a registrable base but is not "
+                f"listed in {dict_names} ({registry.display_path}); register "
+                "it or it can never be selected by name",
+            )

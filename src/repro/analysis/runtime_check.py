@@ -1,0 +1,105 @@
+"""Cross-check SL003's static counter view against a live smoke simulation.
+
+``python -m repro lint --verify-against-runtime`` runs one tiny
+simulation (KM under the baseline config at a small scale — ~0.3 s) and
+flattens ``SimStats.as_dict()`` into leaf counter names. Two set
+differences then tie the static analysis to reality:
+
+* a counter declared in the *linted tree* but absent from the runtime
+  dump means the linted sources and the imported ``repro`` package have
+  drifted apart (stale install, wrong path on the command line);
+* a counter emitted at runtime but undeclared in the linted tree means
+  the same drift in the other direction.
+
+Both directions become SL003 findings, so the cross-check participates
+in the normal exit-code contract. This is the static/dynamic handshake:
+the lint pass proves the declarations are coherent, the smoke run proves
+they are the declarations the simulator actually uses.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analysis.engine import LintResult
+from repro.analysis.finding import Finding
+from repro.analysis.rules.counters import CounterHygieneRule
+from repro.errors import LintError
+
+#: Smoke-simulation point: smallest stable workload at a small scale.
+SMOKE_APP = "KM"
+SMOKE_CONFIG = "base"
+SMOKE_SCALE = 0.1
+
+
+def _flatten_leaves(tree: dict[str, Any], prefix: str = "") -> dict[str, str]:
+    """Map leaf counter name -> dotted path (``hits`` -> ``l1.hits``)."""
+    leaves: dict[str, str] = {}
+    for key, value in tree.items():
+        dotted = f"{prefix}{key}"
+        if isinstance(value, dict):
+            leaves.update(_flatten_leaves(value, prefix=f"{dotted}."))
+        else:
+            leaves[key] = dotted
+    return leaves
+
+
+def run_smoke_stats() -> dict[str, Any]:
+    """Simulate the smoke point and return ``SimStats.as_dict()``."""
+    try:
+        from repro.experiments.runner import run
+    except Exception as exc:  # pragma: no cover - packaging problems only
+        raise LintError(
+            f"cannot import the simulator for the runtime cross-check: {exc}"
+        ) from exc
+    result = run(SMOKE_APP, SMOKE_CONFIG, scale=SMOKE_SCALE)
+    stats_dict = result.sim.stats.as_dict()
+    if not isinstance(stats_dict, dict):  # pragma: no cover - API drift guard
+        raise LintError("SimStats.as_dict() did not return a dict")
+    return stats_dict
+
+
+def verify_against_runtime(result: LintResult) -> None:
+    """Attach runtime cross-check findings and payload to ``result``."""
+    usage = CounterHygieneRule.collect(result.project)
+    declared = usage.declared_counters
+    stats_dict = run_smoke_stats()
+    runtime_leaves = _flatten_leaves(stats_dict)
+    runtime_names = set(runtime_leaves)
+
+    counters_modules = [
+        module for module in result.project.modules
+        if any(d.module is module for d in usage.declarations)
+    ]
+    anchor = counters_modules[0].display_path if counters_modules else "<runtime>"
+
+    extra: list[Finding] = []
+    for name in sorted(declared - runtime_names):
+        extra.append(Finding(
+            anchor, 1, 0, "SL003",
+            f"[runtime] counter '{name}' is declared in the linted tree but "
+            f"a smoke simulation ({SMOKE_APP}/{SMOKE_CONFIG}) emitted no such "
+            "counter — the linted sources and the installed repro package "
+            "have drifted apart",
+        ))
+    for name in sorted(runtime_names - declared):
+        extra.append(Finding(
+            anchor, 1, 0, "SL003",
+            f"[runtime] smoke simulation emitted counter "
+            f"'{runtime_leaves[name]}' which no *Stats dataclass in the "
+            "linted tree declares — the linted sources and the installed "
+            "repro package have drifted apart",
+        ))
+
+    result.findings = sorted(result.findings + extra)
+    result.runtime_check = {
+        "ran": True,
+        "smoke_point": {"app": SMOKE_APP, "config": SMOKE_CONFIG,
+                        "scale": SMOKE_SCALE},
+        "declared_counters": sorted(declared),
+        "runtime_counters": sorted(runtime_leaves.values()),
+        "missing_at_runtime": sorted(declared - runtime_names),
+        "undeclared_at_runtime": sorted(
+            runtime_leaves[name] for name in runtime_names - declared
+        ),
+    }

@@ -10,6 +10,7 @@ Commands::
     figure {2,3,4,10,11,12,13,14,15}     regenerate a paper figure's data
     validate [--scale S]                 check the reproduction's shape claims
     sweep --out R.jsonl [...]            crash-safe multi-point sweep
+    lint [PATH ...]                      simulator-aware static analysis
 
 ``run`` and ``sweep`` accept ``--cycle-budget N`` (hard simulated-cycle
 limit) and ``--watchdog N`` (abort after N cycles without progress, with a
@@ -22,8 +23,8 @@ immediately, so an interrupted sweep resumes where it left off::
     python -m repro sweep --apps KM BFS --configs base apres \\
         --out results.jsonl --resume-from results.jsonl   # only the rest
 
-Exit codes: 0 success, 1 failed validation or failed sweep points,
-2 a :class:`~repro.errors.ReproError` aborted the command.
+Exit codes: 0 success, 1 failed validation, failed sweep points, or lint
+findings, 2 a :class:`~repro.errors.ReproError` aborted the command.
 """
 
 from __future__ import annotations
@@ -242,6 +243,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if summary.failed else 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: the analysis subsystem is not needed for simulation.
+    from repro.analysis.cli import cmd_lint
+
+    return cmd_lint(args)
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.experiments.validate import check_claims, format_report
 
@@ -318,6 +326,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--max-points", type=int, default=None, metavar="N",
                          help="simulate at most N new points this invocation")
     add_integrity_flags(p_sweep)
+
+    p_lint = sub.add_parser(
+        "lint", help="simulator-aware static analysis (simlint SL001-SL005)"
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(p_lint)
     return parser
 
 
@@ -330,6 +345,7 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "validate": _cmd_validate,
     "sweep": _cmd_sweep,
+    "lint": _cmd_lint,
 }
 
 

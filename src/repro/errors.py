@@ -57,3 +57,12 @@ class CheckpointError(ReproError):
 
 class WorkloadError(ReproError):
     """Invalid workload specification."""
+
+
+class LintError(ReproError):
+    """The static-analysis pass itself failed (not a lint finding).
+
+    Raised for unreadable paths, unknown rule codes, or a rule crashing;
+    the CLI maps it to exit code 2, distinguishing "the linter broke"
+    from "the linter found problems" (exit 1).
+    """

@@ -94,8 +94,12 @@ class MSHRFile:
         return entry
 
     def occupancy_by_line(self) -> dict[int, int]:
-        """Diagnostic view: line address -> merged demand count."""
+        """Diagnostic view: line address -> merged demand count.
+
+        Sorted by line address so watchdog/invariant dumps are diffable
+        between runs regardless of allocation order.
+        """
         return {
             addr: len(entry.demand_issue_cycles)
-            for addr, entry in self._entries.items()
+            for addr, entry in sorted(self._entries.items())
         }

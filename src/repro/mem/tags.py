@@ -70,8 +70,10 @@ class TagArray:
             protect = pending <= self._assoc // 2
             victim_addr = None
             if protect:
+                # Scan is intentionally in OrderedDict recency order (oldest
+                # first = LRU); that order is deterministic, not hash order.
                 victim_addr = next(
-                    (a for a, m in s.items() if not (m.prefetched and not m.referenced)),
+                    (a for a, m in s.items() if not (m.prefetched and not m.referenced)),  # simlint: ignore[SL001]
                     None,
                 )
             if victim_addr is None:
@@ -89,5 +91,10 @@ class TagArray:
         return sum(len(s) for s in self._sets)
 
     def resident_lines(self) -> Iterator[int]:
+        """Yield resident line addresses, sorted within each set.
+
+        Consumers treat this as a set, but sorting keeps any serialised
+        form (checkpoints, diagnostics) byte-stable across runs.
+        """
         for s in self._sets:
-            yield from s.keys()
+            yield from sorted(s.keys())

@@ -1,0 +1,13 @@
+"""SL005 known-bad: mutating frozen config objects in place."""
+
+
+def shrink_cache(config):
+    config.l1_size = 1024  # finding: attribute assignment on a config
+
+
+def bump_latency(cfg):
+    cfg.dram_latency += 50  # finding: augmented assignment on a config
+
+
+def rename(gpu_config, value):
+    setattr(gpu_config, "label", value)  # finding: setattr on a config

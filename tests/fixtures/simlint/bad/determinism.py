@@ -1,0 +1,26 @@
+"""SL001 known-bad: hash-order iteration, id() ordering, unseeded random."""
+
+import random
+
+
+def drain(pending: set[int]) -> list[int]:
+    out = []
+    for item in pending:  # finding: set iteration
+        out.append(item)
+    return out
+
+
+def materialise(live: frozenset[str]) -> list[str]:
+    return list(live)  # finding: order-sensitive converter over a set
+
+
+def rank(items):
+    return sorted(items, key=id)  # finding: ordering by key=id
+
+
+def tag(obj):
+    return id(obj)  # finding: id() on simulation state
+
+
+def jitter() -> float:
+    return random.random()  # finding: process-global unseeded RNG

@@ -1,0 +1,19 @@
+"""SL002 known-bad (hot path): unpicklable callables on checkpointable state."""
+
+
+class FillQueue:
+    def __init__(self):
+        self.callbacks = []
+        self.on_fill = None
+
+    def arm(self, warp_id):
+        self.on_fill = lambda cycle: warp_id + cycle  # finding: lambda attribute
+
+    def arm_local(self, warp_id):
+        def done(cycle):
+            return warp_id + cycle
+
+        self.on_fill = done  # finding: local def stored on attribute
+
+    def schedule(self, warp_id):
+        self.callbacks.append(lambda cycle: warp_id)  # finding: lambda into sink

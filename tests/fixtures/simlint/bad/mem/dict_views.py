@@ -1,0 +1,16 @@
+"""SL001 known-bad (hot path): dict-view iteration without sorted()."""
+
+
+class Table:
+    def __init__(self):
+        self.entries: dict[int, int] = {}
+
+    def walk(self):
+        for addr, count in self.entries.items():  # finding: .items() hot-path
+            yield addr, count
+
+    def addresses(self):
+        return list(self.entries.keys())  # finding: .keys() into list()
+
+    def counts(self):
+        yield from self.entries.values()  # finding: yield from .values()

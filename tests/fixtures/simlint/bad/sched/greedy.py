@@ -1,0 +1,13 @@
+"""SL004 fixture plugin: registered scheduler plus an unregistered subclass."""
+
+from .base import BaseScheduler
+
+
+class GreedyScheduler(BaseScheduler):
+    def pick(self, ready):
+        return ready[0]
+
+
+class RogueScheduler(GreedyScheduler):  # finding: registrable but unregistered
+    def pick(self, ready):
+        return ready[-1]

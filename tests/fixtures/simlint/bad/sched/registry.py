@@ -1,0 +1,8 @@
+"""SL004 fixture registry: one good entry, one that cannot resolve."""
+
+from .greedy import GreedyScheduler
+
+SCHEDULERS = {
+    "greedy": GreedyScheduler,
+    "phantom": PhantomScheduler,  # finding: no module defines this class  # noqa: F821
+}

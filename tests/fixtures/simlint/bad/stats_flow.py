@@ -1,0 +1,20 @@
+"""SL003 known-bad: an undeclared counter update and a dead declared counter."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FixtureStats:
+    cycles: int = 0
+    hits: int = 0
+    dead_counter: int = 0  # finding: declared but never updated
+
+
+class Pipeline:
+    def __init__(self, stats: FixtureStats):
+        self.stats = stats
+
+    def tick(self):
+        self.stats.cycles += 1
+        self.stats.hits += 1
+        self.stats.phantom_counter += 1  # finding: updated but never declared

@@ -1,0 +1,11 @@
+"""SL005 known-good: configs are replaced, never mutated."""
+
+import dataclasses
+
+
+def shrink_cache(config):
+    return dataclasses.replace(config, l1_size=1024)
+
+
+def bump_latency(cfg):
+    return dataclasses.replace(cfg, dram_latency=cfg.dram_latency + 50)

@@ -1,0 +1,31 @@
+"""SL001 known-good: ordered iteration and explicitly seeded randomness."""
+
+import random
+
+
+def drain(pending: set[int]) -> list[int]:
+    out = []
+    for item in sorted(pending):
+        out.append(item)
+    return out
+
+
+def materialise(live: frozenset[str]) -> list[str]:
+    return sorted(live)
+
+
+def rank(items):
+    return sorted(items, key=lambda entry: entry.priority)
+
+
+def tag(obj):
+    return obj.uid
+
+
+def jitter(seed: int) -> float:
+    return random.Random(seed).random()
+
+
+def population(pending: set[int]) -> int:
+    # Order-insensitive sinks over sets are fine.
+    return sum(1 for item in pending if item > 0)

@@ -1,0 +1,25 @@
+"""SL002 known-good (hot path): module-level callable objects, not closures."""
+
+
+class _FillDone:
+    """Picklable fill callback: module-level class, state in __slots__."""
+
+    __slots__ = ("warp_id",)
+
+    def __init__(self, warp_id):
+        self.warp_id = warp_id
+
+    def __call__(self, cycle):
+        return self.warp_id + cycle
+
+
+class FillQueue:
+    def __init__(self):
+        self.callbacks = []
+        self.on_fill = None
+
+    def arm(self, warp_id):
+        self.on_fill = _FillDone(warp_id)
+
+    def schedule(self, warp_id):
+        self.callbacks.append(_FillDone(warp_id))

@@ -1,0 +1,17 @@
+"""SL001 known-good (hot path): sorted or justifiably suppressed dict views."""
+
+
+class Table:
+    def __init__(self):
+        self.entries: dict[int, int] = {}
+
+    def walk(self):
+        for addr, count in sorted(self.entries.items()):
+            yield addr, count
+
+    def addresses(self):
+        return sorted(self.entries.keys())
+
+    def counts(self):
+        # Insertion order here is allocation order, which is deterministic.
+        yield from self.entries.values()  # simlint: ignore[SL001]

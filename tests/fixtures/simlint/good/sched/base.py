@@ -1,0 +1,6 @@
+"""SL004 fixture base module: the abstract scheduler root."""
+
+
+class BaseScheduler:
+    def pick(self, ready):
+        raise NotImplementedError

@@ -1,0 +1,13 @@
+"""SL004 fixture plugin: every registrable class is registered."""
+
+from .base import BaseScheduler
+
+
+class GreedyScheduler(BaseScheduler):
+    def pick(self, ready):
+        return ready[0]
+
+
+class PatientScheduler(GreedyScheduler):
+    def pick(self, ready):
+        return ready[-1]

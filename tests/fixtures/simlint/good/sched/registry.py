@@ -1,0 +1,8 @@
+"""SL004 fixture registry: complete and fully resolvable."""
+
+from .greedy import GreedyScheduler, PatientScheduler
+
+SCHEDULERS = {
+    "greedy": GreedyScheduler,
+    "patient": PatientScheduler,
+}

@@ -1,0 +1,18 @@
+"""SL003 known-good: every counter declared, every declaration updated."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FixtureStats:
+    cycles: int = 0
+    hits: int = 0
+
+
+class Pipeline:
+    def __init__(self, stats: FixtureStats):
+        self.stats = stats
+
+    def tick(self):
+        self.stats.cycles += 1
+        self.stats.hits += 1

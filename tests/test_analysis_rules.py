@@ -1,0 +1,198 @@
+"""simlint rules against the known-bad/known-good fixture tree.
+
+Each rule must fire on its bad fixture with an exact finding count (so a
+detector regression shows up as a diff, not a silent miss) and stay
+silent on the corrected twin. The repo itself must lint clean — that is
+the acceptance bar the CI lint job enforces.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import run_lint
+from repro.errors import LintError
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "simlint"
+BAD = FIXTURES / "bad"
+GOOD = FIXTURES / "good"
+
+
+def by_rule(result):
+    return result.by_rule()
+
+
+class TestSL001Determinism:
+    def test_bad_fixture_fires(self):
+        result = run_lint([BAD / "determinism.py"])
+        assert by_rule(result) == {"SL001": 5}
+        messages = " | ".join(f.message for f in result.findings)
+        assert "set order is hash-dependent" in messages
+        assert "key=id" in messages
+        assert "id() values are process-specific" in messages
+        assert "random.random()" in messages
+
+    def test_dict_views_fire_in_hot_path(self):
+        result = run_lint([BAD / "mem" / "dict_views.py"])
+        assert by_rule(result) == {"SL001": 3}
+        assert all(".items()" in f.message or ".keys()" in f.message
+                   or ".values()" in f.message for f in result.findings)
+
+    def test_dict_views_silent_outside_hot_path(self, tmp_path):
+        # Same code as the hot fixture, but in a non-hot directory.
+        target = tmp_path / "dict_views.py"
+        target.write_text((BAD / "mem" / "dict_views.py").read_text())
+        result = run_lint([target])
+        assert result.clean
+
+    def test_good_fixture_clean(self):
+        assert run_lint([GOOD / "determinism.py"]).clean
+
+    def test_good_dict_views_clean_including_suppression(self):
+        assert run_lint([GOOD / "mem" / "dict_views.py"]).clean
+
+
+class TestSL002Picklability:
+    def test_bad_fixture_fires(self):
+        result = run_lint([BAD / "mem" / "closures.py"])
+        assert by_rule(result) == {"SL002": 3}
+        assert all("snapshot() pickling" in f.message for f in result.findings)
+
+    def test_silent_outside_hot_path(self, tmp_path):
+        target = tmp_path / "closures.py"
+        target.write_text((BAD / "mem" / "closures.py").read_text())
+        assert run_lint([target]).clean
+
+    def test_good_fixture_clean(self):
+        assert run_lint([GOOD / "mem" / "closures.py"]).clean
+
+
+class TestSL003CounterHygiene:
+    def test_bad_fixture_fires_both_directions(self):
+        result = run_lint([BAD / "stats_flow.py"])
+        assert by_rule(result) == {"SL003": 2}
+        messages = sorted(f.message for f in result.findings)
+        assert any("'phantom_counter' is updated here but not declared" in m
+                   for m in messages)
+        assert any("'FixtureStats.dead_counter' is declared but never updated" in m
+                   for m in messages)
+
+    def test_declarations_alone_report_nothing(self, tmp_path):
+        # A declarations-only tree has no update sites, so the
+        # never-updated check must stay quiet (see rule docstring).
+        target = tmp_path / "decls.py"
+        target.write_text(textwrap.dedent("""\
+            from dataclasses import dataclass
+
+            @dataclass
+            class LonelyStats:
+                orphan: int = 0
+        """))
+        assert run_lint([target]).clean
+
+    def test_good_fixture_clean(self):
+        assert run_lint([GOOD / "stats_flow.py"]).clean
+
+
+class TestSL004RegistryCompleteness:
+    def test_bad_fixture_fires_both_directions(self):
+        result = run_lint([BAD / "sched"])
+        assert by_rule(result) == {"SL004": 2}
+        messages = " | ".join(f.message for f in result.findings)
+        assert "PhantomScheduler does not resolve" in messages
+        assert "class RogueScheduler subclasses a registrable base" in messages
+
+    def test_good_fixture_clean(self):
+        assert run_lint([GOOD / "sched"]).clean
+
+
+class TestSL005FrozenConfig:
+    def test_bad_fixture_fires(self):
+        result = run_lint([BAD / "config_mutation.py"])
+        assert by_rule(result) == {"SL005": 3}
+        assert all("dataclasses.replace" in f.message for f in result.findings)
+
+    def test_good_fixture_clean(self):
+        assert run_lint([GOOD / "config_mutation.py"]).clean
+
+
+class TestFixtureTrees:
+    def test_bad_tree_totals(self):
+        result = run_lint([BAD])
+        assert by_rule(result) == {
+            "SL001": 8,
+            "SL002": 3,
+            "SL003": 2,
+            "SL004": 2,
+            "SL005": 3,
+        }
+
+    def test_good_tree_is_clean(self):
+        result = run_lint([GOOD])
+        assert result.clean
+        assert result.files_scanned >= 7
+
+
+class TestEngineBehaviour:
+    def test_repo_lints_clean(self):
+        """The acceptance bar: the installed repro package has no findings."""
+        result = run_lint([Path(repro.__file__).parent])
+        assert result.clean, [f.render() for f in result.findings]
+
+    def test_rule_selection_restricts(self):
+        result = run_lint([BAD], rule_codes=["SL005"])
+        assert set(by_rule(result)) == {"SL005"}
+
+    def test_unknown_rule_code_raises(self):
+        with pytest.raises(LintError, match="unknown rule code"):
+            run_lint([BAD], rule_codes=["SL999"])
+
+    def test_missing_path_raises(self):
+        with pytest.raises(LintError, match="no such file"):
+            run_lint([FIXTURES / "does-not-exist"])
+
+    def test_syntax_error_becomes_sl000(self, tmp_path):
+        target = tmp_path / "broken.py"
+        target.write_text("def broken(:\n")
+        result = run_lint([target])
+        assert [f.rule for f in result.findings] == ["SL000"]
+
+    def test_blanket_suppression(self, tmp_path):
+        target = tmp_path / "suppressed.py"
+        target.write_text(textwrap.dedent("""\
+            def drain(pending: set[int]) -> list[int]:
+                return list(pending)  # simlint: ignore
+        """))
+        assert run_lint([target]).clean
+
+    def test_wrong_code_does_not_suppress(self, tmp_path):
+        target = tmp_path / "wrong_code.py"
+        target.write_text(textwrap.dedent("""\
+            def drain(pending: set[int]) -> list[int]:
+                return list(pending)  # simlint: ignore[SL002]
+        """))
+        result = run_lint([target])
+        assert by_rule(result) == {"SL001": 1}
+
+    def test_skip_file(self, tmp_path):
+        target = tmp_path / "skipped.py"
+        target.write_text(textwrap.dedent("""\
+            # simlint: skip-file
+            def drain(pending: set[int]) -> list[int]:
+                return list(pending)
+        """))
+        assert run_lint([target]).clean
+
+    def test_json_dict_schema(self):
+        payload = run_lint([BAD / "config_mutation.py"]).as_json_dict()
+        assert payload["tool"] == "simlint"
+        assert payload["schema_version"] == 1
+        assert payload["summary"]["total"] == 3
+        assert payload["summary"]["by_rule"] == {"SL005": 3}
+        assert set(payload["rules"]) == {"SL001", "SL002", "SL003", "SL004", "SL005"}
+        for finding in payload["findings"]:
+            assert set(finding) == {"path", "line", "col", "rule", "message"}

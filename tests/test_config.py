@@ -4,7 +4,7 @@ import dataclasses
 
 import pytest
 
-from repro.config import APRESConfig, CacheConfig, DRAMConfig, GPUConfig
+from repro.config import APRESConfig, CacheConfig, GPUConfig
 from repro.errors import ConfigError
 
 

@@ -1,8 +1,7 @@
 """APRES end-to-end behaviour on controlled kernels."""
 
-from conftest import make_config
 from repro.core.apres import build_apres
-from repro.isa.address import BroadcastAddress, StridedAddress
+from repro.isa.address import StridedAddress
 from repro.isa.instructions import alu, load
 from repro.isa.program import KernelSpec
 from repro.prefetch.none import NullPrefetcher

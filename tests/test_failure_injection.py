@@ -6,11 +6,10 @@ import dataclasses
 import pytest
 
 from conftest import make_config, mixed_kernel, streaming_kernel
-from repro.config import CacheConfig, DRAMConfig, GPUConfig
+from repro.config import CacheConfig, DRAMConfig
 from repro.mem.request import LoadAccess
 from repro.prefetch.base import Prefetcher, PrefetchCandidate
 from repro.prefetch.none import NullPrefetcher
-from repro.sched.base import WarpScheduler
 from repro.sched.lrr import LRRScheduler
 from repro.sm.simulator import simulate
 

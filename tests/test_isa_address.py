@@ -1,7 +1,6 @@
 """Address generators: determinism, bounds, stride structure."""
 
-import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.config import WARP_SIZE
 from repro.isa.address import (

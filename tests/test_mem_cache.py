@@ -1,7 +1,6 @@
 """L1 cache behaviour: hit/miss/merge/stall paths, miss classification,
 hit-after-hit accounting and prefetch bookkeeping."""
 
-import pytest
 
 from repro.config import CacheConfig
 from repro.mem.cache import AccessOutcome, L1Cache

@@ -1,6 +1,5 @@
 """Property-based tests over core invariants with hypothesis."""
 
-import dataclasses
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 

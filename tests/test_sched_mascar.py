@@ -2,11 +2,8 @@
 
 import pytest
 
-from repro.config import CacheConfig
-from repro.mem.cache import L1Cache
 from repro.sched.base import IssueCandidate
 from repro.sched.mascar import MASCARScheduler
-from repro.stats.counters import CacheStats
 
 
 class FakeL1:

@@ -1,6 +1,5 @@
 """Event fast-forwarding must not change observable timing."""
 
-import dataclasses
 
 from conftest import make_config, mixed_kernel
 from repro.errors import SimulationError

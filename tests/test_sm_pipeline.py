@@ -1,6 +1,5 @@
 """SM pipeline mechanics: issue, LSU feedback, replay, prefetch wiring."""
 
-import dataclasses
 
 from conftest import make_config
 from repro.isa.address import BroadcastAddress, StridedAddress

@@ -4,15 +4,12 @@ import dataclasses
 
 import pytest
 
-from conftest import broadcast_kernel, make_config, mixed_kernel, streaming_kernel
+from conftest import broadcast_kernel, mixed_kernel, streaming_kernel
 from repro.errors import SimulationError
-from repro.isa.address import StridedAddress
-from repro.isa.instructions import alu, load
-from repro.isa.program import KernelSpec
 from repro.prefetch.none import NullPrefetcher
 from repro.prefetch.stride import STRPrefetcher
 from repro.sched.lrr import LRRScheduler
-from repro.sm.simulator import GPUSimulator, simulate
+from repro.sm.simulator import simulate
 
 
 def lrr_engine():

@@ -1,8 +1,7 @@
 """Trace recording, serialisation and trace-driven replay."""
 
-import pytest
 
-from conftest import make_config, mixed_kernel, streaming_kernel
+from conftest import mixed_kernel, streaming_kernel
 from repro.config import CacheConfig
 from repro.prefetch.none import NullPrefetcher
 from repro.sched.lrr import LRRScheduler

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.config import GPUConfig
 from repro.errors import WorkloadError
 from repro.isa.address import BroadcastAddress, StridedAddress
 from repro.isa.instructions import Op
