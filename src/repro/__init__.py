@@ -34,6 +34,7 @@ from repro.experiments.sweep import ResultsStore, SweepPoint, run_sweep, sweep_p
 from repro.integrity import load_checkpoint, save_checkpoint
 from repro.isa import KernelSpec
 from repro.sm import GPUSimulator, SimulationResult, simulate
+from repro.telemetry import STALL_CAUSES, TelemetryHub
 from repro.trace import TraceRecorder, load_trace, replay_trace, save_trace
 from repro.workloads import SUITE, WorkloadSpec, build_kernel, workload
 
@@ -74,6 +75,8 @@ __all__ = [
     "GPUSimulator",
     "SimulationResult",
     "simulate",
+    "STALL_CAUSES",
+    "TelemetryHub",
     "TraceRecorder",
     "load_trace",
     "replay_trace",

@@ -16,16 +16,31 @@ the abstract base). Every public class in the directory's other modules
 that transitively subclasses a base-module class must appear among the
 registry values, and every registry value must be defined in the
 directory.
+
+Two registry-shaped checks ride along, motivated by the telemetry
+subsystem but applied uniformly:
+
+* any module-level ``UPPER_CASE`` dict literal with a repeated constant
+  key silently drops the earlier entry — always a bug, reported per
+  duplicate occurrence;
+* a module declaring an ``INTERVAL_METRICS`` registry must define one
+  ``_metric_<name>`` method per key and register every ``_metric_*``
+  method it defines — the collector resolves metrics by ``getattr``, so
+  a missing method crashes at flush time and an unregistered method is
+  computed by nothing.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.analysis.engine import ModuleInfo, Project, Reporter, Rule
 
 _EXCLUDED_MODULES = frozenset({"__init__", "base", "registry"})
+
+_METRICS_REGISTRY = "INTERVAL_METRICS"
+_METRIC_PREFIX = "_metric_"
 
 
 def _top_level_classes(module: ModuleInfo) -> list[ast.ClassDef]:
@@ -65,6 +80,25 @@ def _value_class_name(value: ast.expr) -> Optional[str]:
     return None
 
 
+def _module_level_upper_dicts(
+    module: ModuleInfo,
+) -> Iterator[tuple[str, ast.Dict]]:
+    """Module-level ``UPPER_CASE = {...}`` dicts, plain or annotated."""
+    for stmt in module.tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+        ):
+            name, value = stmt.targets[0].id, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            name, value = stmt.target.id, stmt.value
+        else:
+            continue
+        if name.isupper() and isinstance(value, ast.Dict):
+            yield name, value
+
+
 class RegistryCompletenessRule(Rule):
     """SL004: every plugin class registered, every registry entry resolvable."""
 
@@ -72,8 +106,69 @@ class RegistryCompletenessRule(Rule):
     title = "registry completeness: plugin classes registered and entries resolvable"
 
     def check_module(self, module: ModuleInfo, reporter: Reporter) -> None:
-        # All work happens in the project pass (needs the sibling modules).
-        return
+        # The plugin-package check happens in the project pass (it needs
+        # the sibling modules); these two are purely module-local.
+        self._check_duplicate_keys(module, reporter)
+        self._check_interval_metrics(module, reporter)
+
+    def _check_duplicate_keys(
+        self, module: ModuleInfo, reporter: Reporter
+    ) -> None:
+        for dict_name, dict_node in _module_level_upper_dicts(module):
+            seen: dict[object, int] = {}
+            for key in dict_node.keys:
+                if not isinstance(key, ast.Constant):
+                    continue
+                value = key.value
+                if not isinstance(value, (str, int, float, bytes)):
+                    continue
+                first = seen.get(value)
+                if first is not None:
+                    reporter.report(
+                        self.code, module, key,
+                        f"registry {dict_name} repeats key {value!r} (first "
+                        f"at line {first}); the earlier entry is silently "
+                        "overwritten",
+                    )
+                else:
+                    seen[value] = key.lineno
+
+    def _check_interval_metrics(
+        self, module: ModuleInfo, reporter: Reporter
+    ) -> None:
+        registries = [
+            dict_node
+            for name, dict_node in _module_level_upper_dicts(module)
+            if name == _METRICS_REGISTRY
+        ]
+        if not registries:
+            return
+        keys: dict[str, ast.expr] = {}
+        for dict_node in registries:
+            for key in dict_node.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.setdefault(key.value, key)
+        methods: dict[str, ast.AST] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name.startswith(_METRIC_PREFIX):
+                    methods.setdefault(node.name[len(_METRIC_PREFIX):], node)
+        for name, key_node in sorted(keys.items()):
+            if name not in methods:
+                reporter.report(
+                    self.code, module, key_node,
+                    f"{_METRICS_REGISTRY} names {name!r} but this module "
+                    f"defines no {_METRIC_PREFIX}{name} method; the interval "
+                    "collector would crash resolving it at flush time",
+                )
+        for name, method_node in sorted(methods.items()):
+            if name not in keys:
+                reporter.report(
+                    self.code, module, method_node,
+                    f"{_METRIC_PREFIX}{name} has no {_METRICS_REGISTRY} "
+                    "entry; the metric is never computed for any interval "
+                    "record — register it or remove the method",
+                )
 
     def finish(self, project: Project, reporter: Reporter) -> None:
         for _directory, modules in sorted(project.by_directory().items()):

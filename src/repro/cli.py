@@ -4,6 +4,8 @@ Commands::
 
     list                                 workloads and configurations
     run APP CONFIG [--scale S]           simulate one point, print metrics
+    trace APP CONFIG [--out DIR]         run with full telemetry: Chrome
+                                         trace, interval JSONL, stall report
     compare APP [CONFIG ...]             speedups over baseline for one app
     characterize APP [--scale S]         Table I rows for one workload
     table {1,2} [--scale S]              regenerate a paper table
@@ -11,6 +13,12 @@ Commands::
     validate [--scale S]                 check the reproduction's shape claims
     sweep --out R.jsonl [...]            crash-safe multi-point sweep
     lint [PATH ...]                      simulator-aware static analysis
+
+``run`` takes ``--telemetry`` (stall attribution + heartbeat),
+``--trace-out FILE`` (Chrome trace-event JSON; open in chrome://tracing
+or https://ui.perfetto.dev) and ``--intervals-out FILE`` (windowed
+metrics as JSONL); ``sweep`` takes ``--telemetry``/``--trace-dir`` to
+add a per-point stall breakdown (and optional traces) to its records.
 
 ``run`` and ``sweep`` accept ``--cycle-budget N`` (hard simulated-cycle
 limit) and ``--watchdog N`` (abort after N cycles without progress, with a
@@ -73,9 +81,57 @@ def _limited_gpu_config(args: argparse.Namespace):
     )
 
 
+def _telemetry_wanted(args: argparse.Namespace) -> bool:
+    return bool(
+        getattr(args, "telemetry", False)
+        or getattr(args, "trace_out", None)
+        or getattr(args, "intervals_out", None)
+    )
+
+
+def _build_run_hub(args: argparse.Namespace):
+    """TelemetryHub for ``run``/``trace`` flags; None when telemetry is off."""
+    if not _telemetry_wanted(args):
+        return None
+    from repro.telemetry import HeartbeatSink, IntervalJSONLWriter, TelemetryHub
+
+    hub = TelemetryHub(
+        window=getattr(args, "window", None) or 5_000,
+        trace=bool(getattr(args, "trace_out", None)),
+    )
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out and os.path.dirname(trace_out):
+        os.makedirs(os.path.dirname(trace_out), exist_ok=True)
+    intervals_out = getattr(args, "intervals_out", None)
+    if intervals_out:
+        if os.path.dirname(intervals_out):
+            os.makedirs(os.path.dirname(intervals_out), exist_ok=True)
+        if os.path.exists(intervals_out):
+            os.remove(intervals_out)  # the writer appends (resume-safe)
+        hub.add_interval_sink(IntervalJSONLWriter(intervals_out))
+    if not getattr(args, "no_heartbeat", False):
+        hub.add_interval_sink(
+            HeartbeatSink(cycle_budget=getattr(args, "cycle_budget", None) or 0)
+        )
+    return hub
+
+
+def _stall_rows(report: dict) -> list:
+    total = report["stall_cycles"] or 1
+    rows = [
+        [cause, cycles, f"{100.0 * cycles / total:.1f}%"]
+        for cause, cycles in report["by_cause"].items()
+        if cycles
+    ]
+    rows.append(["(all stalls)", report["stall_cycles"], "100.0%"])
+    rows.append(["(issue cycles)", report["issue_cycles"], "-"])
+    return rows
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    hub = _build_run_hub(args)
     result = run(args.app, args.config, scale=args.scale,
-                 gpu_config=_limited_gpu_config(args))
+                 gpu_config=_limited_gpu_config(args), telemetry=hub)
     s = result.sim.stats
     rows = [
         ["cycles", s.cycles],
@@ -93,6 +149,85 @@ def _cmd_run(args: argparse.Namespace) -> int:
     ]
     print(format_table(["Metric", "Value"], rows,
                        title=f"{args.app} under {args.config} (scale={args.scale})"))
+    if hub is not None:
+        report = hub.reconcile(s)
+        print()
+        print(format_table(["Stall cause", "Cycles", "Share"],
+                           _stall_rows(report), title="Stall attribution"))
+        if getattr(args, "trace_out", None):
+            hub.trace.write(args.trace_out)
+            print(f"chrome trace: {args.trace_out} "
+                  "(open in chrome://tracing or https://ui.perfetto.dev)")
+        if getattr(args, "intervals_out", None):
+            print(f"interval metrics: {args.intervals_out}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.telemetry import (
+        HeartbeatSink,
+        IntervalJSONLWriter,
+        PhaseTimer,
+        RunProfiler,
+        TelemetryHub,
+    )
+
+    out_dir = args.out or os.path.join("traces", f"{args.app}_{args.config}")
+    os.makedirs(out_dir, exist_ok=True)
+    intervals_path = os.path.join(out_dir, "intervals.jsonl")
+    if os.path.exists(intervals_path):
+        os.remove(intervals_path)  # the writer appends (resume-safe)
+
+    hub = TelemetryHub(window=args.window, trace=True)
+    hub.add_interval_sink(IntervalJSONLWriter(intervals_path))
+    if not args.no_heartbeat:
+        hub.add_interval_sink(HeartbeatSink(cycle_budget=args.cycle_budget or 0))
+
+    timer = PhaseTimer()
+    profiler = RunProfiler() if args.profile else None
+    gpu_config = _limited_gpu_config(args)
+    with timer.phase("simulate"):
+        if profiler is not None:
+            result = profiler.run(
+                run, args.app, args.config, scale=args.scale,
+                gpu_config=gpu_config, telemetry=hub,
+            )
+        else:
+            result = run(args.app, args.config, scale=args.scale,
+                         gpu_config=gpu_config, telemetry=hub)
+
+    stats = result.sim.stats
+    with timer.phase("export"):
+        report = hub.reconcile(stats)  # raises if attribution drifted
+        trace_path = os.path.join(out_dir, "trace.json")
+        hub.trace.write(trace_path)
+        stalls_path = os.path.join(out_dir, "stalls.json")
+        with open(stalls_path, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    print(format_table(
+        ["Stall cause", "Cycles", "Share"], _stall_rows(report),
+        title=f"{args.app} under {args.config}: stall attribution "
+              f"(cycles={stats.cycles}, IPC={stats.ipc:.3f})"))
+    print()
+    print(f"reconciliation: issue+stall == {stats.cycles} cycles x "
+          f"{report['reconciliation']['num_sms']} SMs (exact)")
+    print(f"events captured: {hub.events_emitted}")
+    print(f"chrome trace:     {trace_path} "
+          "(open in chrome://tracing or https://ui.perfetto.dev)")
+    print(f"interval metrics: {intervals_path}")
+    print(f"stall report:     {stalls_path}")
+    if profiler is not None:
+        profile_path = os.path.join(out_dir, "host_profile.pstats")
+        profiler.dump(profile_path)
+        print(f"host profile:     {profile_path}")
+        print()
+        print(profiler.format_report(limit=args.profile_limit))
+    print()
+    print(timer.format_report())
     return 0
 
 
@@ -229,6 +364,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         point_timeout_s=args.timeout,
         max_points=args.max_points,
         progress=show_progress,
+        telemetry=args.telemetry or bool(args.trace_dir),
+        trace_dir=args.trace_dir,
+        telemetry_window=args.window,
     )
     rows = [
         ["points", summary.total_points],
@@ -276,11 +414,45 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--dump-dir", default=None, metavar="DIR",
                        help="write watchdog diagnostic dumps (JSON) to DIR")
 
+    def add_telemetry_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--window", type=int, default=5_000, metavar="N",
+                       help="interval-metrics window in simulated cycles")
+        p.add_argument("--no-heartbeat", action="store_true",
+                       help="suppress the periodic progress line on stderr")
+
     p_run = sub.add_parser("run", help="simulate one workload/configuration")
     p_run.add_argument("app", choices=sorted(SUITE))
     p_run.add_argument("config", choices=sorted(CONFIGS))
     p_run.add_argument("--scale", type=float, default=0.5)
+    p_run.add_argument("--telemetry", action="store_true",
+                       help="enable stall attribution, interval metrics and "
+                            "a heartbeat progress line")
+    p_run.add_argument("--trace-out", metavar="FILE", default=None,
+                       help="write a Chrome trace-event JSON (implies "
+                            "--telemetry)")
+    p_run.add_argument("--intervals-out", metavar="FILE", default=None,
+                       help="write interval metrics as JSONL (implies "
+                            "--telemetry)")
+    add_telemetry_flags(p_run)
     add_integrity_flags(p_run)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one point with full telemetry: Chrome trace, interval "
+             "JSONL, stall attribution, optional host profile",
+    )
+    p_trace.add_argument("app", choices=sorted(SUITE))
+    p_trace.add_argument("config", choices=sorted(CONFIGS))
+    p_trace.add_argument("--scale", type=float, default=0.5)
+    p_trace.add_argument("--out", metavar="DIR", default=None,
+                         help="output directory (default traces/APP_CONFIG)")
+    p_trace.add_argument("--profile", action="store_true",
+                         help="cProfile the host process and report hot "
+                              "functions")
+    p_trace.add_argument("--profile-limit", type=int, default=15, metavar="N",
+                         help="functions to show in the profile report")
+    add_telemetry_flags(p_trace)
+    add_integrity_flags(p_trace)
 
     p_cmp = sub.add_parser("compare", help="speedups over baseline for one app")
     p_cmp.add_argument("app", choices=sorted(SUITE))
@@ -325,6 +497,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="wall-clock limit per point")
     p_sweep.add_argument("--max-points", type=int, default=None, metavar="N",
                          help="simulate at most N new points this invocation")
+    p_sweep.add_argument("--telemetry", action="store_true",
+                         help="attach stall attribution to every point's "
+                              "record (reconciled against its counters)")
+    p_sweep.add_argument("--trace-dir", metavar="DIR", default=None,
+                         help="write one Chrome trace per point into DIR "
+                              "(implies --telemetry)")
+    p_sweep.add_argument("--window", type=int, default=5_000, metavar="N",
+                         help="interval-metrics window in simulated cycles")
     add_integrity_flags(p_sweep)
 
     p_lint = sub.add_parser(
@@ -339,6 +519,7 @@ def build_parser() -> argparse.ArgumentParser:
 _COMMANDS = {
     "list": _cmd_list,
     "run": _cmd_run,
+    "trace": _cmd_trace,
     "compare": _cmd_compare,
     "characterize": _cmd_characterize,
     "table": _cmd_table,

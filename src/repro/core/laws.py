@@ -24,6 +24,7 @@ from repro.core.llt import LastLoadTable
 from repro.core.wgt import WarpGroupTable
 from repro.mem.request import LoadAccess
 from repro.sched.base import IssueCandidate, WarpScheduler
+from repro.telemetry.events import SchedGroupEvent
 
 
 class LAWSScheduler(WarpScheduler):
@@ -109,6 +110,14 @@ class LAWSScheduler(WarpScheduler):
         else:
             self._move_to_tail(stored, last=wid)
             self._pending_group = (stored, access)
+        tel = self.telemetry
+        if tel is not None and tel.events:
+            tel.emit(SchedGroupEvent(
+                cycle=access.cycle,
+                sm=tel.sm_id,
+                action="head" if access.primary_hit else "tail",
+                warps=tuple(sorted(stored)),
+            ))
 
     def take_pending_group(self, access: LoadAccess) -> Optional[frozenset[int]]:
         """Hand the missed group to SAP (one-shot, matched to the access)."""

@@ -28,6 +28,7 @@ from repro.config import APRESConfig
 from repro.core.laws import LAWSScheduler
 from repro.mem.request import LoadAccess
 from repro.prefetch.base import Prefetcher, PrefetchCandidate
+from repro.telemetry.events import SAPDecisionEvent
 
 
 @dataclass
@@ -98,6 +99,7 @@ class SAPPrefetcher(Prefetcher):
         entry.last_warp = access.warp_id
         entry.last_addr = access.primary_addr
         if not confirmed or not group:
+            self._emit_decision(access, stride, confirmed, 0)
             return []
 
         # The Demand Request Queue holds only the lowest-thread request of
@@ -105,6 +107,7 @@ class SAPPrefetcher(Prefetcher):
         targets = [w for w in sorted(group) if w != access.warp_id]
         targets = targets[: min(self._wq_capacity, self._drq_capacity)]
         assert entry.stride is not None
+        self._emit_decision(access, stride, confirmed, len(targets))
         return [
             PrefetchCandidate(
                 access.primary_addr + (w - access.warp_id) * entry.stride,
@@ -112,6 +115,20 @@ class SAPPrefetcher(Prefetcher):
             )
             for w in targets
         ]
+
+    def _emit_decision(
+        self, access: LoadAccess, stride: Optional[int], confirmed: bool, num_targets: int
+    ) -> None:
+        tel = self.telemetry
+        if tel is not None and tel.events:
+            tel.emit(SAPDecisionEvent(
+                cycle=access.cycle,
+                sm=tel.sm_id,
+                pc=access.pc,
+                stride=stride,
+                confirmed=confirmed,
+                num_targets=num_targets,
+            ))
 
     def _self_prefetch(self, access: LoadAccess) -> list[PrefetchCandidate]:
         """Per-warp stream prefetch along the issuing warp's own stride."""

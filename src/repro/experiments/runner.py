@@ -81,29 +81,38 @@ def run(
     config_name: str,
     scale: float = 1.0,
     gpu_config: Optional[GPUConfig] = None,
+    telemetry=None,
 ) -> RunResult:
-    """Simulate one workload under one named configuration (memoised)."""
+    """Simulate one workload under one named configuration (memoised).
+
+    A run with ``telemetry`` (a :class:`repro.telemetry.TelemetryHub`)
+    bypasses the cache entirely — both lookup and store — because the
+    hub is bound to the specific simulator instance and a memoised
+    result would silently carry no telemetry.
+    """
     if config_name not in CONFIGS:
         known = ", ".join(sorted(CONFIGS))
         raise ValueError(f"unknown config {config_name!r}; known: {known}")
     cfg = gpu_config or experiment_gpu_config()
     key = (workload_abbr, config_name, scale, cfg)
-    cached = _CACHE.get(key)
-    if cached is not None:
-        _CACHE.move_to_end(key)
-        return cached
+    if telemetry is None:
+        cached = _CACHE.get(key)
+        if cached is not None:
+            _CACHE.move_to_end(key)
+            return cached
 
     spec = workload(workload_abbr)
     kernel = build_kernel(spec, scale)
     engine = CONFIGS[config_name]
-    sim = simulate(kernel, cfg, engine.build)
+    sim = simulate(kernel, cfg, engine.build, telemetry=telemetry)
     energy = EnergyModel().report(
         sim.stats, apres_events=sim.engine_events, num_sms=cfg.num_sms
     )
     result = RunResult(workload_abbr, config_name, sim, energy)
-    _CACHE[key] = result
-    while len(_CACHE) > _cache_max:
-        _CACHE.popitem(last=False)
+    if telemetry is None:
+        _CACHE[key] = result
+        while len(_CACHE) > _cache_max:
+            _CACHE.popitem(last=False)
     return result
 
 

@@ -213,6 +213,9 @@ def run_sweep(
     max_points: Optional[int] = None,
     sleep: Callable[[float], None] = _default_sleep,
     progress: Optional[Callable[[SweepPoint, dict], None]] = None,
+    telemetry: bool = False,
+    trace_dir: Optional[str] = None,
+    telemetry_window: int = 5_000,
 ) -> SweepSummary:
     """Run every point, persisting each result to ``out_path`` as it lands.
 
@@ -222,6 +225,12 @@ def run_sweep(
     are *simulated* this invocation (skips are free) — useful for smoke
     tests and incremental fills. ``sleep`` is injectable so tests can
     verify backoff without waiting.
+
+    With ``telemetry`` every simulated point gets a stall-attribution
+    breakdown (reconciled exactly against its counters) folded into its
+    record; ``trace_dir`` additionally writes one Chrome trace-event JSON
+    per point (``<key>.trace.json``, ``|`` replaced by ``_``). Telemetry
+    points bypass the runner's memoisation cache by design.
     """
     points = list(points)
     store = ResultsStore(out_path)
@@ -254,6 +263,9 @@ def run_sweep(
             backoff_s=backoff_s,
             point_timeout_s=point_timeout_s,
             sleep=sleep,
+            telemetry=telemetry or trace_dir is not None,
+            trace_dir=trace_dir,
+            telemetry_window=telemetry_window,
         )
         store.append(record)
         done[point.key] = record
@@ -274,6 +286,9 @@ def _run_point(
     backoff_s: float,
     point_timeout_s: Optional[float],
     sleep: Callable[[float], None],
+    telemetry: bool = False,
+    trace_dir: Optional[str] = None,
+    telemetry_window: int = 5_000,
 ) -> dict:
     """Simulate one point with timeout + bounded retry; never raises
     :class:`ReproError` — failures become records."""
@@ -281,14 +296,26 @@ def _run_point(
     while True:
         attempts += 1
         try:
+            hub = None
+            if telemetry:
+                from repro.telemetry import TelemetryHub
+
+                # One hub per attempt: a hub binds to a single simulator.
+                hub = TelemetryHub(
+                    window=telemetry_window, trace=trace_dir is not None
+                )
             with _wall_clock_limit(point_timeout_s, point.key):
                 result = run(
                     point.workload,
                     point.config_name,
                     scale=point.scale,
                     gpu_config=gpu_config,
+                    telemetry=hub,
                 )
-            return _ok_record(point, result, attempts)
+            record = _ok_record(point, result, attempts)
+            if hub is not None:
+                _attach_telemetry(record, point, result, hub, trace_dir)
+            return record
         except SimulationError as exc:
             if attempts > retries:
                 return _failure_record(point, exc, attempts)
@@ -296,3 +323,24 @@ def _run_point(
         except ReproError as exc:
             # Config/workload errors are deterministic; retrying cannot help.
             return _failure_record(point, exc, attempts)
+
+
+def _attach_telemetry(
+    record: dict,
+    point: SweepPoint,
+    result: RunResult,
+    hub,
+    trace_dir: Optional[str],
+) -> None:
+    """Fold the point's stall attribution (and optional trace) into its record."""
+    report = hub.reconcile(result.sim.stats)  # raises InvariantError on drift
+    record["stalls"] = report["by_cause"]
+    record["issue_cycles"] = report["issue_cycles"]
+    record["stall_cycles"] = report["stall_cycles"]
+    if trace_dir:
+        os.makedirs(trace_dir, exist_ok=True)
+        trace_path = os.path.join(
+            trace_dir, point.key.replace("|", "_").replace("/", "-") + ".trace.json"
+        )
+        hub.trace.write(trace_path)
+        record["trace_path"] = trace_path

@@ -20,6 +20,7 @@ from repro.config import CacheConfig
 from repro.mem.mshr import FillCallback, MSHRFile
 from repro.mem.tags import LineMeta, TagArray
 from repro.stats.counters import CacheStats
+from repro.telemetry.events import L1AccessEvent, L1EvictEvent, L1FillEvent, PrefetchDropEvent
 
 #: ``fn(line_addr, now, is_prefetch) -> fill_cycle`` — forwards a miss downstream.
 MissForwarder = Callable[[int, int, bool], int]
@@ -62,6 +63,8 @@ class L1Cache:
         self.eviction_listener: Optional[EvictionListener] = None
         #: Hook the subsystem overrides to feed demand-latency counters.
         self.stats_latency: Callable[[int, int], None] = _ignore_latency
+        #: Per-SM telemetry proxy (set by the pipeline when tracing).
+        self.telemetry = None
 
     @property
     def hit_latency(self) -> int:
@@ -100,9 +103,14 @@ class L1Cache:
         arrives via ``on_fill``; for STALL nothing was committed and the
         access must be retried.
         """
+        tel = self.telemetry
+        emit = tel is not None and tel.events
         meta = self._tags.probe(line_addr)
         if meta is not None:
             self._record_hit(meta)
+            if emit:
+                tel.emit(L1AccessEvent(
+                    cycle=now, sm=tel.sm_id, line_addr=line_addr, outcome="hit"))
             return AccessOutcome.HIT, now + self._config.hit_latency
 
         entry = self._mshrs.lookup(line_addr)
@@ -110,20 +118,35 @@ class L1Cache:
             was_prefetch = entry.prefetch_only
             if not self._mshrs.merge_demand(entry, now, on_fill):
                 self.stats.reservation_fails += 1
+                if emit:
+                    tel.emit(L1AccessEvent(
+                        cycle=now, sm=tel.sm_id, line_addr=line_addr,
+                        outcome="stall"))
                 return AccessOutcome.STALL, None
             if was_prefetch:
                 self.stats.prefetch_demand_merged += 1
             self.stats.mshr_demand_merges += 1
             self._record_miss(line_addr)
+            if emit:
+                tel.emit(L1AccessEvent(
+                    cycle=now, sm=tel.sm_id, line_addr=line_addr,
+                    outcome="merged"))
             return AccessOutcome.MERGED, None
 
         new_entry = self._mshrs.allocate(line_addr, now, prefetch_only=False)
         if new_entry is None:
             self.stats.reservation_fails += 1
+            if emit:
+                tel.emit(L1AccessEvent(
+                    cycle=now, sm=tel.sm_id, line_addr=line_addr,
+                    outcome="stall"))
             return AccessOutcome.STALL, None
         self._mshrs.merge_demand(new_entry, now, on_fill)
         new_entry.filler_warp = warp_id
         self._record_miss(line_addr)
+        if emit:
+            tel.emit(L1AccessEvent(
+                cycle=now, sm=tel.sm_id, line_addr=line_addr, outcome="miss"))
         self._forward_miss(line_addr, now, False)
         return AccessOutcome.MISS, None
 
@@ -135,17 +158,26 @@ class L1Cache:
         """Issue a prefetch; returns True if a fill was actually started."""
         if self._tags.probe(line_addr, update_lru=False) is not None:
             self.stats.prefetch_dropped += 1
+            self._drop_prefetch(line_addr, now, "resident")
             return False
         if line_addr in self._mshrs:
             self.stats.prefetch_dropped += 1
+            self._drop_prefetch(line_addr, now, "in_flight")
             return False
         entry = self._mshrs.allocate(line_addr, now, prefetch_only=True)
         if entry is None:
             self.stats.prefetch_dropped += 1
+            self._drop_prefetch(line_addr, now, "no_mshr")
             return False
         self.stats.prefetch_issued += 1
         self._forward_miss(line_addr, now, True)
         return True
+
+    def _drop_prefetch(self, line_addr: int, now: int, reason: str) -> None:
+        tel = self.telemetry
+        if tel is not None and tel.events:
+            tel.emit(PrefetchDropEvent(
+                cycle=now, sm=tel.sm_id, line_addr=line_addr, reason=reason))
 
     # ------------------------------------------------------------------
     # Fill / store paths
@@ -167,19 +199,24 @@ class L1Cache:
         )
         if entry.prefetch_only:
             self.stats.prefetch_fills += 1
+        tel = self.telemetry
+        if tel is not None and tel.events:
+            tel.emit(L1FillEvent(
+                cycle=now, sm=tel.sm_id, line_addr=line_addr,
+                prefetch=entry.prefetch_only))
         victim = self._tags.insert(line_addr, meta)
         if victim is not None:
-            self._on_eviction(*victim)
+            self._on_eviction(*victim, now=now)
         for issue_cycle in entry.demand_issue_cycles:
             self.stats_latency(issue_cycle, now)
         for cb in entry.callbacks:
             cb(now)
 
-    def store(self, line_addr: int) -> None:
+    def store(self, line_addr: int, now: int = 0) -> None:
         """Global store: write-evict — invalidate the line if resident."""
         meta = self._tags.invalidate(line_addr)
         if meta is not None:
-            self._on_eviction(line_addr, meta)
+            self._on_eviction(line_addr, meta, now)
 
     # ------------------------------------------------------------------
     # Internals
@@ -207,9 +244,14 @@ class L1Cache:
             self.stats.cold_misses += 1
         self._last_access_hit = False
 
-    def _on_eviction(self, line_addr: int, meta: LineMeta) -> None:
+    def _on_eviction(self, line_addr: int, meta: LineMeta, now: int = 0) -> None:
         self.stats.evictions += 1
         if meta.prefetched and not meta.referenced:
             self.stats.prefetch_early_evicted += 1
+        tel = self.telemetry
+        if tel is not None and tel.events:
+            tel.emit(L1EvictEvent(
+                cycle=now, sm=tel.sm_id, line_addr=line_addr,
+                prefetched=meta.prefetched, referenced=meta.referenced))
         if self.eviction_listener is not None and meta.filler_warp >= 0:
             self.eviction_listener(meta.filler_warp, line_addr)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.config import DRAMConfig
 from repro.stats.counters import MemoryStats
+from repro.telemetry.events import DRAMRequestEvent
 
 
 class DRAMModel:
@@ -20,6 +21,8 @@ class DRAMModel:
         self._line_size = line_size
         self._stats = stats
         self._partition_free_at = [0] * config.num_partitions
+        #: Telemetry hub (shared, not per-SM; set by TelemetryHub.bind).
+        self.telemetry = None
 
     def partition_of(self, line_addr: int) -> int:
         """Hashed partition mapping.
@@ -39,11 +42,24 @@ class DRAMModel:
         self._partition_free_at[part] = start + self._config.service_cycles
         self._stats.dram_requests += 1
         self._stats.bytes_dram_to_l2 += self._line_size
+        tel = self.telemetry
+        if tel is not None and tel.events:
+            tel.emit(DRAMRequestEvent(
+                cycle=now, line_addr=line_addr, partition=part,
+                queue_delay=start - now))
         return start + self._config.latency
 
     def queue_delay(self, line_addr: int, now: int) -> int:
         """Cycles a request arriving ``now`` would wait (diagnostic)."""
         return max(0, self._partition_free_at[self.partition_of(line_addr)] - now)
+
+    def busy_partitions(self, now: int) -> int:
+        """How many partitions still have queued service at ``now``.
+
+        The stall-attribution engine uses this to split memory stalls into
+        bandwidth queuing (``dram_queue``) vs pure latency (``l1_pending``).
+        """
+        return sum(1 for free_at in self._partition_free_at if free_at > now)
 
     def queue_depths(self, now: int) -> list[int]:
         """Per-partition busy cycles remaining at ``now`` (diagnostic).

@@ -16,6 +16,7 @@ from repro.config import CacheConfig
 from repro.mem.dram import DRAMModel
 from repro.mem.tags import LineMeta, TagArray
 from repro.stats.counters import MemoryStats
+from repro.telemetry.events import L2AccessEvent
 
 
 class L2Cache:
@@ -31,6 +32,8 @@ class L2Cache:
         #: min-heap of (ready_cycle, line) mirroring ``_pending``.
         self._pending_heap: list[tuple[int, int]] = []
         self._bank_free_at = [0] * max(1, config.num_banks)
+        #: Telemetry hub (shared, not per-SM; set by TelemetryHub.bind).
+        self.telemetry = None
 
     def bank_of(self, line_addr: int) -> int:
         # Hashed interleave, matching the DRAM partition mapping rationale.
@@ -51,9 +54,14 @@ class L2Cache:
         self._commit_arrived(now)
         self._stats.l2_accesses += 1
         start = self._occupy_bank(line_addr, now)
+        tel = self.telemetry
         if self._tags.probe(line_addr) is not None:
             self._stats.l2_hits += 1
+            if tel is not None and tel.events:
+                tel.emit(L2AccessEvent(cycle=now, line_addr=line_addr, hit=True))
             return start + self._config.hit_latency
+        if tel is not None and tel.events:
+            tel.emit(L2AccessEvent(cycle=now, line_addr=line_addr, hit=False))
         ready = self._pending.get(line_addr)
         if ready is not None:
             # Join the outstanding fill; data is forwarded when it lands.

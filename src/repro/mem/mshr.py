@@ -62,6 +62,16 @@ class MSHRFile:
     def occupancy_ratio(self) -> float:
         return len(self._entries) / self._capacity
 
+    @property
+    def live_prefetch_only(self) -> int:
+        """In-flight fills still owned purely by a prefetch (no demand merged).
+
+        The integrity layer's prefetch conservation law counts these: every
+        issued prefetch is exactly one of {filled as prefetch, demand-merged
+        while in flight, still in flight prefetch-only}.
+        """
+        return sum(1 for entry in self._entries.values() if entry.prefetch_only)
+
     def lookup(self, line_addr: int) -> Optional[MSHREntry]:
         return self._entries.get(line_addr)
 

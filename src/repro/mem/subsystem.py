@@ -120,7 +120,7 @@ class MemorySubsystem:
         """Write-through stores: invalidate the L1 copy, consume L2 bandwidth."""
         l1 = self.l1s[sm_id]
         for line in line_addrs:
-            l1.store(line)
+            l1.store(line, now)
             self.l2.write(line, now)
             self._stats.memory.bytes_stored += self._config.l1.line_size
 
@@ -167,6 +167,27 @@ class MemorySubsystem:
                 now, f"L1 miss classes: {l1_stats.cold_misses} cold + "
                 f"{l1_stats.capacity_conflict_misses} capacity/conflict != "
                 f"{l1_stats.misses} misses")
+        # Prefetch conservation: every prefetch that started a fill is
+        # exactly one of {installed as a prefetch line, converted by a
+        # demand merge while in flight, still in flight prefetch-only}.
+        live_prefetch = sum(l1.mshrs.live_prefetch_only for l1 in self.l1s)
+        accounted = (
+            l1_stats.prefetch_fills
+            + l1_stats.prefetch_demand_merged
+            + live_prefetch
+        )
+        if l1_stats.prefetch_issued != accounted:
+            self._violate(
+                now, f"prefetch conservation: {l1_stats.prefetch_issued} "
+                f"issued != {l1_stats.prefetch_fills} fills + "
+                f"{l1_stats.prefetch_demand_merged} demand-merged + "
+                f"{live_prefetch} live prefetch-only MSHRs")
+        # A prefetch-filled line is useful or early-evicted at most once.
+        if l1_stats.prefetch_useful + l1_stats.prefetch_early_evicted > l1_stats.prefetch_fills:
+            self._violate(
+                now, f"prefetch outcomes: {l1_stats.prefetch_useful} useful + "
+                f"{l1_stats.prefetch_early_evicted} early-evicted > "
+                f"{l1_stats.prefetch_fills} prefetch fills")
 
     def describe(self, now: int) -> dict:
         """JSON-ready snapshot of memory-side state (diagnostics)."""

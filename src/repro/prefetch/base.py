@@ -32,6 +32,8 @@ class Prefetcher(abc.ABC):
 
     def __init__(self) -> None:
         self.events = 0
+        #: Per-SM telemetry proxy (set by the pipeline when tracing).
+        self.telemetry = None
 
     def reset(self, num_warps: int) -> None:
         """(Re)initialise per-SM state."""

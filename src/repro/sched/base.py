@@ -38,6 +38,8 @@ class WarpScheduler(abc.ABC):
         self.events = 0
         self._num_warps = 0
         self._l1: Optional[L1Cache] = None
+        #: Per-SM telemetry proxy (set by the pipeline when tracing).
+        self.telemetry = None
 
     def reset(self, num_warps: int) -> None:
         """(Re)initialise state for an SM with ``num_warps`` warps."""

@@ -25,6 +25,15 @@ from repro.prefetch.base import Prefetcher
 from repro.sched.base import IssueCandidate, WarpScheduler
 from repro.sm.warp import WarpContext
 from repro.stats.counters import SimStats
+from repro.telemetry.events import (
+    LoadIssueEvent,
+    LoadOutcomeEvent,
+    MemCompleteEvent,
+    PrefetchDropEvent,
+    PrefetchIssueEvent,
+    SchedGroupEvent,
+    WarpIssueEvent,
+)
 
 #: Observer invoked for every executed load: ``fn(access, line_hits)``.
 LoadObserver = Callable[[LoadAccess, list[bool]], None]
@@ -109,10 +118,20 @@ class SMCore:
         self.mem_requests_issued = 0
         self.mem_requests_completed = 0
         self.load_observers: list[LoadObserver] = []
+        #: Per-SM telemetry proxy; ``None`` (the default) keeps the issue
+        #: loop's instrumentation to one identity test per cycle.
+        self._telemetry = None
         scheduler.reset(len(self.warps))
         scheduler.attach_l1(l1)
         prefetcher.reset(len(self.warps))
         l1.eviction_listener = scheduler.notify_eviction
+
+    def attach_telemetry(self, proxy) -> None:
+        """Share one per-SM telemetry proxy with the engines and the L1."""
+        self._telemetry = proxy
+        self._scheduler.telemetry = proxy
+        self._prefetcher.telemetry = proxy
+        self._l1.telemetry = proxy
 
     # ------------------------------------------------------------------
     # Public state
@@ -144,6 +163,10 @@ class SMCore:
         """Advance one cycle; returns True if an instruction was issued."""
         self._process_replay(now)
         lsu_blocked = len(self._replay) >= self.LSU_QUEUE_DEPTH
+        tel = self._telemetry
+        # Snapshot the structural-stall counter so the idle branch can tell
+        # MSHR gating apart without any work inside the candidate loop.
+        gate_base = self._stats.lsu_structural_stalls if tel is not None else 0
 
         candidates = []
         is_mem_at = self._is_mem_at
@@ -157,11 +180,17 @@ class SMCore:
             candidates.append(IssueCandidate(w.warp_id, is_mem))
         if not candidates:
             self._stats.idle_cycles += 1
+            if tel is not None:
+                tel.on_idle(
+                    self, now, self._stats.lsu_structural_stalls - gate_base
+                )
             return False
 
         chosen = self._scheduler.select(candidates, now)
         if chosen is None:
             self._stats.idle_cycles += 1
+            if tel is not None:
+                tel.on_throttle(now)
             return False
         warp = self.warps[chosen]
         self._issue(warp, warp.current_instr, now)
@@ -173,6 +202,26 @@ class SMCore:
 
     def _issue(self, warp: WarpContext, instr: Instr, now: int) -> None:
         self._stats.instructions += 1
+        tel = self._telemetry
+        if tel is not None:
+            tel.on_issue()
+            if tel.events:
+                if instr.op is Op.ALU:
+                    dur = self._config.issue_latency
+                elif instr.op is Op.STORE:
+                    dur = 1
+                else:
+                    dur = None  # a load's span ends at its mem_complete
+                tel.emit(
+                    WarpIssueEvent(
+                        cycle=now,
+                        sm=self.sm_id,
+                        warp=warp.warp_id,
+                        pc=instr.pc,
+                        op=instr.op.name,
+                        dur=dur,
+                    )
+                )
         self._scheduler.notify_issue(warp.warp_id, instr.is_mem, now)
         if instr.op is Op.ALU:
             # ALU chains are dependent: the next same-warp issue waits.
@@ -199,6 +248,18 @@ class SMCore:
         warp.outstanding += len(lines)
         self.mem_requests_issued += len(lines)
         warp.ready_at = now + 1
+        tel = self._telemetry
+        if tel is not None and tel.events:
+            tel.emit(
+                LoadIssueEvent(
+                    cycle=now,
+                    sm=self.sm_id,
+                    warp=warp.warp_id,
+                    pc=instr.pc,
+                    primary_addr=addrs[0],
+                    num_lines=len(lines),
+                )
+            )
         pending = _PendingLoad(
             warp=warp,
             pc=instr.pc,
@@ -266,22 +327,62 @@ class SMCore:
             primary_hit=primary_hit,
             cycle=now,
         )
+        tel = self._telemetry
+        emit_events = tel is not None and tel.events
+        if emit_events:
+            tel.emit(
+                LoadOutcomeEvent(
+                    cycle=now,
+                    sm=self.sm_id,
+                    warp=access.warp_id,
+                    pc=access.pc,
+                    hit=primary_hit,
+                )
+            )
         self._scheduler.notify_load_result(access)
         candidates = self._prefetcher.observe_load(access)
         line_size = self._config.l1.line_size
         targets = []
         for cand in candidates:
+            line = cand.addr - (cand.addr % line_size)
             # Prefetches must not crowd out demand misses: leave MSHR
             # headroom (adaptive throttling, as both STR and SAP do).
             if self._l1.mshr_occupancy >= self.PREFETCH_MSHR_LIMIT:
                 self._l1.stats.prefetch_dropped += 1
+                if emit_events:
+                    tel.emit(
+                        PrefetchDropEvent(
+                            cycle=now,
+                            sm=self.sm_id,
+                            line_addr=line,
+                            reason="mshr_pressure",
+                        )
+                    )
                 continue
-            line = cand.addr - (cand.addr % line_size)
             issued = self._l1.prefetch(line, now)
-            if issued and cand.target_warp is not None:
-                targets.append(cand.target_warp)
+            if issued:
+                if emit_events:
+                    tel.emit(
+                        PrefetchIssueEvent(
+                            cycle=now,
+                            sm=self.sm_id,
+                            line_addr=line,
+                            target_warp=cand.target_warp,
+                        )
+                    )
+                if cand.target_warp is not None:
+                    targets.append(cand.target_warp)
         if targets:
             self._scheduler.notify_prefetch_targets(targets)
+            if emit_events:
+                tel.emit(
+                    SchedGroupEvent(
+                        cycle=now,
+                        sm=self.sm_id,
+                        action="promote",
+                        warps=tuple(targets),
+                    )
+                )
 
     def _mem_done(self, warp: WarpContext, when: int) -> None:
         warp.outstanding -= 1
@@ -290,6 +391,11 @@ class SMCore:
             raise AssertionError("memory completion underflow")
         if warp.outstanding == 0:
             warp.ready_at = max(warp.ready_at, when)
+            tel = self._telemetry
+            if tel is not None and tel.events:
+                tel.emit(
+                    MemCompleteEvent(cycle=when, sm=self.sm_id, warp=warp.warp_id)
+                )
             self._scheduler.notify_mem_complete(warp.warp_id, when)
 
     def _finish_instruction(self, warp: WarpContext) -> None:

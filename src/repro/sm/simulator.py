@@ -30,6 +30,7 @@ from repro.prefetch.base import Prefetcher
 from repro.sched.base import WarpScheduler
 from repro.sm.pipeline import LoadObserver, SMCore
 from repro.stats.counters import SimStats
+from repro.telemetry.hub import TelemetryHub
 
 #: Builds one (scheduler, prefetcher) pair per SM. APRES couples the two,
 #: which is why they are constructed together.
@@ -64,6 +65,7 @@ class GPUSimulator:
         config: GPUConfig,
         engine_factory: EngineFactory,
         load_observers: Sequence[LoadObserver] = (),
+        telemetry: Optional[TelemetryHub] = None,
     ):
         self._kernel = kernel
         self._config = config
@@ -96,6 +98,11 @@ class GPUSimulator:
             else None
         )
         self.watchdog = Watchdog(config.watchdog_cycles)
+        #: Optional observability layer; ``None`` keeps every hook to a
+        #: single identity test (see :mod:`repro.telemetry`).
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.bind(self)
 
     # ------------------------------------------------------------------
     # Introspection (also consumed by the integrity layer)
@@ -214,11 +221,16 @@ class GPUSimulator:
         issued_any = False
         for sm in self._sms:
             issued_any |= sm.cycle(now)
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.on_tick(now)
         if all(sm.done for sm in self._sms) and not len(events):
             self._now = now + 1
             self._prev_cycle = now
             self._finished = True
             self.stats.cycles = self._now
+            if telemetry is not None:
+                telemetry.finish(self.stats)
             return
         if self._integrity is not None:
             self._integrity.maybe_check(self, now)
@@ -255,6 +267,8 @@ class GPUSimulator:
         skipped = wake - now - 1
         if skipped > 0:
             self.stats.idle_cycles += skipped * len(self._sms)
+            if self.telemetry is not None:
+                self.telemetry.on_skip(skipped)
         return wake
 
     # ------------------------------------------------------------------
@@ -276,6 +290,9 @@ def simulate(
     config: GPUConfig,
     engine_factory: EngineFactory,
     load_observers: Sequence[LoadObserver] = (),
+    telemetry: Optional[TelemetryHub] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`GPUSimulator` and run it."""
-    return GPUSimulator(kernel, config, engine_factory, load_observers).run()
+    return GPUSimulator(
+        kernel, config, engine_factory, load_observers, telemetry=telemetry
+    ).run()

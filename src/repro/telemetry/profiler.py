@@ -1,0 +1,112 @@
+"""Host-side profiling of the simulator itself.
+
+The other telemetry modules observe *simulated* time; this one observes
+*wall-clock* time spent by the host Python process, which is what any
+future performance PR needs as its baseline. Two tools:
+
+* :class:`PhaseTimer` — coarse wall-clock phase accounting (build /
+  simulate / export), cheap enough to always run under ``repro trace``;
+* :class:`RunProfiler` — a ``cProfile`` wrapper that profiles a callable
+  and reports the hottest functions by cumulative time.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class PhaseTimer:
+    """Named wall-clock phases; nested use is additive per name."""
+
+    def __init__(self) -> None:
+        self._order: list[str] = []
+        self._seconds: dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            if name not in self._seconds:
+                self._order.append(name)
+                self._seconds[name] = 0.0
+            self._seconds[name] += elapsed
+
+    def seconds(self, name: str) -> float:
+        return self._seconds.get(name, 0.0)
+
+    def report(self) -> dict[str, float]:
+        """Phase -> seconds, in first-use order."""
+        return {name: self._seconds[name] for name in self._order}
+
+    def format_report(self) -> str:
+        total = sum(self._seconds.values())
+        lines = ["phase timings (wall clock):"]
+        for name in self._order:
+            secs = self._seconds[name]
+            share = 100.0 * secs / total if total else 0.0
+            lines.append(f"  {name:<20} {secs:8.3f}s  {share:5.1f}%")
+        lines.append(f"  {'total':<20} {total:8.3f}s")
+        return "\n".join(lines)
+
+
+class RunProfiler:
+    """Profile one callable with ``cProfile`` and summarise the result."""
+
+    def __init__(self) -> None:
+        self._profile: Optional[cProfile.Profile] = None
+
+    def run(self, fn: Callable[..., T], *args: Any, **kwargs: Any) -> T:
+        profile = cProfile.Profile()
+        profile.enable()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            profile.disable()
+            self._profile = profile
+
+    def _stats(self) -> pstats.Stats:
+        if self._profile is None:
+            raise ValueError("RunProfiler.run() has not been called")
+        return pstats.Stats(self._profile)
+
+    def top_functions(self, limit: int = 15) -> list[dict[str, Any]]:
+        """Hottest functions by cumulative time, JSON-ready."""
+        stats = self._stats()
+        rows: list[dict[str, Any]] = []
+        for func, data in stats.stats.items():  # type: ignore[attr-defined]
+            filename, lineno, name = func
+            calls, _prim_calls, total_time, cum_time, _callers = data
+            rows.append(
+                {
+                    "function": f"{filename}:{lineno}({name})",
+                    "calls": calls,
+                    "total_time": total_time,
+                    "cumulative_time": cum_time,
+                }
+            )
+        rows.sort(key=lambda r: (-r["cumulative_time"], r["function"]))
+        return rows[:limit]
+
+    def format_report(self, limit: int = 15) -> str:
+        if self._profile is None:
+            raise ValueError("RunProfiler.run() has not been called")
+        buffer = io.StringIO()
+        stats = pstats.Stats(self._profile, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(limit)
+        return buffer.getvalue()
+
+    def dump(self, path: str) -> None:
+        """Write raw profile data (``snakeviz``/``pstats`` compatible)."""
+        if self._profile is None:
+            raise ValueError("RunProfiler.run() has not been called")
+        self._profile.dump_stats(path)

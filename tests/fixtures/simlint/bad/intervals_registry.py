@@ -1,0 +1,16 @@
+"""SL004 known-bad: duplicate registry key and a metric/method mismatch."""
+
+
+INTERVAL_METRICS: dict[str, str] = {
+    "ipc": "instructions per cycle within the window",
+    "ipc": "duplicated key",  # noqa: F601  finding: repeats 'ipc'
+    "uncomputed": "no method computes this",  # finding: no _metric_uncomputed
+}
+
+
+class Collector:
+    def _metric_ipc(self) -> float:
+        return 0.0
+
+    def _metric_secret(self) -> float:  # finding: not in INTERVAL_METRICS
+        return 1.0

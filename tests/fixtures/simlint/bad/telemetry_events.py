@@ -1,0 +1,52 @@
+"""SL003 known-bad: a telemetry event registry with every drift mode.
+
+Never imported — ``GhostEvent`` and ``PhantomEvent`` are deliberately
+undefined names; the linter works on the AST alone.
+"""
+
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+
+@dataclass
+class TelemetryEvent:
+    kind: ClassVar[str] = ""
+    cycle: int
+
+
+@dataclass
+class GoodEvent(TelemetryEvent):
+    kind: ClassVar[str] = "good"
+    value: int
+
+
+@dataclass
+class MislabeledEvent(TelemetryEvent):
+    kind: ClassVar[str] = "mislabeled"
+    value: int
+
+
+@dataclass
+class UnregisteredEvent(TelemetryEvent):  # finding: not in EVENT_TYPES
+    kind: ClassVar[str] = "unregistered"
+    value: int
+
+
+@dataclass
+class OrphanEvent(TelemetryEvent):  # finding: registered but never emitted
+    kind: ClassVar[str] = "orphan"
+    value: int
+
+
+EVENT_TYPES: dict[str, type] = {
+    "good": GoodEvent,
+    "wrong_kind": MislabeledEvent,  # finding: key != class kind literal
+    "ghost": GhostEvent,  # noqa: F821  finding: class does not exist
+    "orphan": OrphanEvent,
+}
+
+
+def emit_all(hub: Any) -> None:
+    hub.emit(GoodEvent(cycle=0, value=1))
+    hub.emit(MislabeledEvent(cycle=0, value=2))
+    hub.emit(PhantomEvent(cycle=0, value=3))  # noqa: F821  finding: unknown

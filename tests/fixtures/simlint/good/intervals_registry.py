@@ -1,0 +1,15 @@
+"""SL004 known-good twin: every metric computed, every method registered."""
+
+
+INTERVAL_METRICS: dict[str, str] = {
+    "ipc": "instructions per cycle within the window",
+    "l1_miss_rate": "L1 demand miss rate within the window",
+}
+
+
+class Collector:
+    def _metric_ipc(self) -> float:
+        return 0.0
+
+    def _metric_l1_miss_rate(self) -> float:
+        return 0.0

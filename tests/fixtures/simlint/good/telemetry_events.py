@@ -1,0 +1,33 @@
+"""SL003 known-good twin: registry, kind literals, and emit sites agree."""
+
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+
+@dataclass
+class TelemetryEvent:
+    kind: ClassVar[str] = ""
+    cycle: int
+
+
+@dataclass
+class GoodEvent(TelemetryEvent):
+    kind: ClassVar[str] = "good"
+    value: int
+
+
+@dataclass
+class OtherEvent(TelemetryEvent):
+    kind: ClassVar[str] = "other"
+    value: int
+
+
+EVENT_TYPES: dict[str, type] = {
+    "good": GoodEvent,
+    "other": OtherEvent,
+}
+
+
+def emit_all(hub: Any) -> None:
+    hub.emit(GoodEvent(cycle=0, value=1))
+    hub.emit(OtherEvent(cycle=0, value=2))

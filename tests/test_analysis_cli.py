@@ -83,7 +83,7 @@ class TestJsonOutput:
             payload["summary"]["by_rule"].values()
         )
         assert payload["summary"]["by_rule"] == {
-            "SL001": 8, "SL002": 3, "SL003": 2, "SL004": 2, "SL005": 3,
+            "SL001": 8, "SL002": 3, "SL003": 7, "SL004": 5, "SL005": 3,
         }
         assert payload["files_scanned"] >= 8
         assert payload["runtime_check"] is None
@@ -104,7 +104,7 @@ class TestFlags:
         proc = run_cli(str(FIXTURES / "bad"), "--rules", "SL003", "--format", "json")
         assert proc.returncode == 1
         payload = json.loads(proc.stdout)
-        assert payload["summary"]["by_rule"] == {"SL003": 2}
+        assert payload["summary"]["by_rule"] == {"SL003": 7}
         assert set(payload["rules"]) == {"SL003"}
 
     def test_list_rules(self):

@@ -98,6 +98,55 @@ class TestSL003CounterHygiene:
         assert run_lint([GOOD / "stats_flow.py"]).clean
 
 
+class TestSL003TelemetryEvents:
+    def test_bad_fixture_fires_every_drift_mode(self):
+        result = run_lint([BAD / "telemetry_events.py"])
+        assert by_rule(result) == {"SL003": 5}
+        messages = " | ".join(f.message for f in result.findings)
+        assert "UnregisteredEvent subclasses TelemetryEvent" in messages
+        assert "OrphanEvent is registered but never emitted" in messages
+        assert "'wrong_kind' maps to MislabeledEvent whose kind literal" in messages
+        assert "'ghost' -> GhostEvent does not resolve" in messages
+        assert "emit site constructs PhantomEvent" in messages
+
+    def test_silent_without_a_registry(self, tmp_path):
+        # Emit sites alone (e.g. linting sm/ on its own) must not fire:
+        # the pass needs EVENT_TYPES in the tree to check against.
+        target = tmp_path / "emitters.py"
+        target.write_text(textwrap.dedent("""\
+            def poke(hub, SomeEvent):
+                hub.emit(SomeEvent(cycle=0))
+        """))
+        assert run_lint([target]).clean
+
+    def test_orphan_check_gated_on_emit_sites(self, tmp_path):
+        # A declarations-only tree (registry + classes, no emitters) must
+        # not report orphans — the emitters just weren't linted.
+        target = tmp_path / "events_only.py"
+        target.write_text(textwrap.dedent("""\
+            from dataclasses import dataclass
+            from typing import ClassVar
+
+
+            @dataclass
+            class TelemetryEvent:
+                kind: ClassVar[str] = ""
+                cycle: int
+
+
+            @dataclass
+            class QuietEvent(TelemetryEvent):
+                kind: ClassVar[str] = "quiet"
+
+
+            EVENT_TYPES = {"quiet": QuietEvent}
+        """))
+        assert run_lint([target]).clean
+
+    def test_good_fixture_clean(self):
+        assert run_lint([GOOD / "telemetry_events.py"]).clean
+
+
 class TestSL004RegistryCompleteness:
     def test_bad_fixture_fires_both_directions(self):
         result = run_lint([BAD / "sched"])
@@ -108,6 +157,39 @@ class TestSL004RegistryCompleteness:
 
     def test_good_fixture_clean(self):
         assert run_lint([GOOD / "sched"]).clean
+
+
+class TestSL004IntervalMetrics:
+    def test_bad_fixture_fires_all_three(self):
+        result = run_lint([BAD / "intervals_registry.py"])
+        assert by_rule(result) == {"SL004": 3}
+        messages = " | ".join(f.message for f in result.findings)
+        assert "repeats key 'ipc'" in messages
+        assert "no _metric_uncomputed method" in messages
+        assert "_metric_secret has no INTERVAL_METRICS entry" in messages
+
+    def test_duplicate_key_applies_to_any_upper_registry(self, tmp_path):
+        target = tmp_path / "dupes.py"
+        target.write_text(textwrap.dedent("""\
+            LOOKUP = {
+                "a": 1,
+                "b": 2,
+                "a": 3,  # noqa: F601
+            }
+        """))
+        result = run_lint([target])
+        assert by_rule(result) == {"SL004": 1}
+        assert "repeats key 'a'" in result.findings[0].message
+
+    def test_lowercase_dicts_exempt(self, tmp_path):
+        # Plain data dicts are not registries; only UPPER_CASE module
+        # constants get the duplicate-key treatment.
+        target = tmp_path / "plain.py"
+        target.write_text('lookup = {"a": 1, "a": 2}  # noqa: F601\n')
+        assert run_lint([target]).clean
+
+    def test_good_fixture_clean(self):
+        assert run_lint([GOOD / "intervals_registry.py"]).clean
 
 
 class TestSL005FrozenConfig:
@@ -126,15 +208,15 @@ class TestFixtureTrees:
         assert by_rule(result) == {
             "SL001": 8,
             "SL002": 3,
-            "SL003": 2,
-            "SL004": 2,
+            "SL003": 7,
+            "SL004": 5,
             "SL005": 3,
         }
 
     def test_good_tree_is_clean(self):
         result = run_lint([GOOD])
         assert result.clean
-        assert result.files_scanned >= 7
+        assert result.files_scanned >= 9
 
 
 class TestEngineBehaviour:
