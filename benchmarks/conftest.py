@@ -4,13 +4,19 @@ Every benchmark regenerates one table or figure of the paper. Simulations
 are memoised process-wide, so figures sharing configurations (10-15) reuse
 each other's runs. ``REPRO_BENCH_SCALE`` shrinks or grows the workloads
 (default 0.5 of the full trip counts); results are printed and archived
-under ``bench_results/``.
+under ``bench_results/`` three ways: the human-readable ``<name>.txt``,
+the machine-readable ``<name>.json`` payload, and the compact headline
+file ``BENCH_<name>.json`` whose git history is the result trajectory.
+Each payload is also ingested into the run registry
+(``bench_results/registry``, or ``REPRO_REGISTRY_DIR``).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
+from typing import Optional, Sequence
 
 import pytest
 
@@ -31,11 +37,34 @@ def scale() -> float:
     return SCALE
 
 
-def archive(results_dir: pathlib.Path, name: str, text: str) -> None:
-    """Print a reproduced table and save it next to the repo."""
+def archive(results_dir: pathlib.Path, name: str, text: str,
+            data: object = None, scale: float = SCALE,
+            apps: Optional[Sequence[str]] = None) -> None:
+    """Print a reproduced table, save it, and (with ``data``) register it.
+
+    ``data`` is the producer's raw payload. When given it is persisted
+    machine-readably as ``<name>.json``, summarised into the committed
+    ``BENCH_<name>.json`` headline-metric file, and ingested into the run
+    registry as a figure record (full provenance: commit, host, scale).
+    """
     print()
     print(text)
     (results_dir / f"{name}.txt").write_text(text + "\n")
+    if data is None:
+        return
+    from repro.experiments.export import to_jsonable
+    from repro.registry.records import figure_record, headline_metrics
+    from repro.registry.store import RegistryStore
+
+    payload = to_jsonable(data)
+    (results_dir / f"{name}.json").write_text(json.dumps(
+        {"name": name, "scale": scale, "data": payload},
+        indent=2, sort_keys=True, default=str) + "\n")
+    (results_dir / f"BENCH_{name}.json").write_text(json.dumps(
+        headline_metrics(payload), indent=2, sort_keys=True) + "\n")
+    store = (RegistryStore() if os.environ.get("REPRO_REGISTRY_DIR")
+             else RegistryStore(results_dir / "registry"))
+    store.put(figure_record(name, data, scale, apps))
 
 
 def run_once(benchmark, fn):

@@ -20,7 +20,7 @@ def test_ablation_sap_components(benchmark, results_dir, scale):
     ]
     text = format_table(["Variant"] + apps, rows,
                         title="Ablation — APRES component stack (speedup vs baseline)")
-    archive(results_dir, "ablation_components", text)
+    archive(results_dir, "ablation_components", text, data=data, scale=scale)
     # The full stack must dominate LAWS alone on the strided apps.
     assert data["LUD"]["laws+group+self"] >= data["LUD"]["laws"]
 
@@ -28,7 +28,7 @@ def test_ablation_sap_components(benchmark, results_dir, scale):
 def test_ablation_pt_entries(benchmark, results_dir, scale):
     data = run_once(benchmark, lambda: ablations.pt_entry_sweep(scale=scale))
     text = _grid_text(data, "Ablation — SAP Prefetch Table entries", "PT")
-    archive(results_dir, "ablation_pt_entries", text)
+    archive(results_dir, "ablation_pt_entries", text, data=data, scale=scale)
     # The paper's 10 entries should be on the saturated part of the curve.
     for app in data[10]:
         assert data[10][app] >= data[1][app] - 0.05, app
@@ -37,7 +37,7 @@ def test_ablation_pt_entries(benchmark, results_dir, scale):
 def test_ablation_wgt_entries(benchmark, results_dir, scale):
     data = run_once(benchmark, lambda: ablations.wgt_entry_sweep(scale=scale))
     text = _grid_text(data, "Ablation — Warp Group Table entries", "WGT")
-    archive(results_dir, "ablation_wgt_entries", text)
+    archive(results_dir, "ablation_wgt_entries", text, data=data, scale=scale)
     # 3 entries cover all in-flight loads: more entries change nothing.
     for app in data[3]:
         assert abs(data[3][app] - data[8][app]) < 0.05, app
@@ -46,14 +46,14 @@ def test_ablation_wgt_entries(benchmark, results_dir, scale):
 def test_ablation_self_degree(benchmark, results_dir, scale):
     data = run_once(benchmark, lambda: ablations.self_degree_sweep(scale=scale))
     text = _grid_text(data, "Ablation — SAP self-prefetch degree", "Degree")
-    archive(results_dir, "ablation_self_degree", text)
+    archive(results_dir, "ablation_self_degree", text, data=data, scale=scale)
     assert data[2]["LUD"] > data[0]["LUD"]  # self-prefetch carries LUD
 
 
 def test_ablation_l1_size(benchmark, results_dir, scale):
     data = run_once(benchmark, lambda: ablations.l1_size_sweep(scale=scale))
     text = _grid_text(data, "Ablation — baseline IPC vs L1 capacity (KB)", "L1 KB")
-    archive(results_dir, "ablation_l1_size", text)
+    archive(results_dir, "ablation_l1_size", text, data=data, scale=scale)
     # KM thrashes at 32 KB and is cured by capacity (Figure 2's premise).
     assert data[128]["KM"] > data[32]["KM"]
 
@@ -61,7 +61,7 @@ def test_ablation_l1_size(benchmark, results_dir, scale):
 def test_ablation_bandwidth(benchmark, results_dir, scale):
     data = run_once(benchmark, lambda: ablations.bandwidth_sweep(scale=scale))
     text = _grid_text(data, "Ablation — baseline IPC vs DRAM service cycles", "DRAM cy")
-    archive(results_dir, "ablation_bandwidth", text)
+    archive(results_dir, "ablation_bandwidth", text, data=data, scale=scale)
     # Less bandwidth can only hurt.
     for app in data[2]:
         assert data[2][app] >= data[8][app] - 0.02, app

@@ -20,7 +20,7 @@ def test_fig10_performance(benchmark, results_dir, scale):
         rows,
         title="Figure 10 — speedup over baseline (LRR, no prefetching)",
     )
-    archive(results_dir, "figure10", text)
+    archive(results_dir, "figure10", text, data=data, scale=scale)
 
     assert set(data) == set(figures.FIG10_CONFIGS)
     # Core shape claims of Section V-B on this substrate:

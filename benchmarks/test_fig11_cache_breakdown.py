@@ -23,7 +23,7 @@ def test_fig11_cache_breakdown(benchmark, results_dir, scale):
         rows,
         title="Figure 11 — cache breakdown (B=base C=ccws L=laws S=ccws+str A=apres)",
     )
-    archive(results_dir, "figure11", text)
+    archive(results_dir, "figure11", text, data=data, scale=scale)
 
     for app, per_config in data.items():
         for label, r in per_config.items():

@@ -18,7 +18,7 @@ def test_fig12_early_eviction(benchmark, results_dir, scale):
         rows,
         title="Figure 12 — early eviction ratio: CCWS+STR vs APRES",
     )
-    archive(results_dir, "figure12", text)
+    archive(results_dir, "figure12", text, data=data, scale=scale)
 
     assert set(data) == {"ccws+str", "apres"}
     for per_app in data.values():

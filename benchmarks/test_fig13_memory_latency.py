@@ -18,7 +18,7 @@ def test_fig13_memory_latency(benchmark, results_dir, scale):
         rows,
         title="Figure 13 — average memory latency (normalised to baseline)",
     )
-    archive(results_dir, "figure13", text)
+    archive(results_dir, "figure13", text, data=data, scale=scale)
 
     assert set(data) == {"ccws+str", "apres"}
     for per_app in data.values():

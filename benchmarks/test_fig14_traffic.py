@@ -18,7 +18,7 @@ def test_fig14_traffic(benchmark, results_dir, scale):
         rows,
         title="Figure 14 — data traffic (normalised to baseline)",
     )
-    archive(results_dir, "figure14", text)
+    archive(results_dir, "figure14", text, data=data, scale=scale)
 
     # Both adaptive prefetchers keep traffic near baseline (Section V-E):
     # confirmation gating avoids wild overfetch.

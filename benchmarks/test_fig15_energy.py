@@ -18,7 +18,7 @@ def test_fig15_energy(benchmark, results_dir, scale):
         rows,
         title="Figure 15 — dynamic energy (normalised to baseline)",
     )
-    archive(results_dir, "figure15", text)
+    archive(results_dir, "figure15", text, data=data, scale=scale)
 
     per_app = data["apres"]
     # Energy tracks runtime and DRAM traffic; APRES must not blow it up —

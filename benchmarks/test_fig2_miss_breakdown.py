@@ -22,7 +22,7 @@ def test_fig2_miss_breakdown(benchmark, results_dir, scale):
         rows,
         title="Figure 2 — miss breakdown: 32KB baseline (B) vs 32MB (C)",
     )
-    archive(results_dir, "figure2", text)
+    archive(results_dir, "figure2", text, data=data, scale=scale)
 
     assert set(data) == set(SUITE)
     mem_apps = [w.abbr for w in memory_intensive_workloads()]

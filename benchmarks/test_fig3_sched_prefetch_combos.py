@@ -18,7 +18,7 @@ def test_fig3_sched_prefetch_combos(benchmark, results_dir, scale):
         rows,
         title="Figure 3 — scheduler x prefetcher speedups (normalised to baseline)",
     )
-    archive(results_dir, "figure3", text)
+    archive(results_dir, "figure3", text, data=data, scale=scale)
 
     assert set(data) == set(figures.FIG3_CONFIGS)
     for config, per_app in data.items():

@@ -18,7 +18,7 @@ def test_fig4_early_eviction_str(benchmark, results_dir, scale):
         rows,
         title="Figure 4 — early eviction ratio of STR prefetching",
     )
-    archive(results_dir, "figure4", text)
+    archive(results_dir, "figure4", text, data=data, scale=scale)
 
     assert set(data) == set(figures.FIG4_CONFIGS)
     for config, per_app in data.items():

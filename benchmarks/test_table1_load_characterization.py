@@ -21,7 +21,7 @@ def test_table1_load_characterization(benchmark, results_dir, scale):
         rows,
         title="Table I — characteristics of frequently executed loads",
     )
-    archive(results_dir, "table1", text)
+    archive(results_dir, "table1", text, data=data, scale=scale)
 
     assert set(data) == {"BFS", "MUM", "NW", "SPMV", "KM",
                          "LUD", "SRAD", "PA", "HISTO", "BP"}

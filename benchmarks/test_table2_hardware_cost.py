@@ -20,7 +20,7 @@ def test_table2_hardware_cost(benchmark, results_dir):
         ],
         title="Table II — hardware cost of APRES",
     )
-    archive(results_dir, "table2", text)
+    archive(results_dir, "table2", text, data=cost)
 
     assert cost.laws_bytes == 210
     assert cost.sap_bytes == 514

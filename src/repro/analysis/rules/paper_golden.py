@@ -1,0 +1,132 @@
+"""SL006 — paper-golden completeness: every figure producer is scored.
+
+The fidelity scorecard (``python -m repro scorecard``) only catches
+drift in figures it has golden data for. A producer added to
+``experiments/figures.py`` without a matching entry in
+``experiments/paper_data.py`` silently escapes the CI regression gate;
+a golden entry whose producer was renamed or deleted reads as covered
+while scoring nothing. The rule keys on directories containing both
+``figures.py`` and ``paper_data.py`` and checks, structurally:
+
+* every figure/table producer (a module-level function named
+  ``figureN`` / ``tableN``) appears as a key of the ``GOLDEN`` dict;
+* every ``GOLDEN`` key resolves to such a producer;
+* ``GOLDEN`` and ``SCORECARD`` agree key-for-key — a golden series
+  without a scorecard spec is never scored, and a spec without golden
+  data fails at scoring time.
+
+Both dicts must be plain module-level literals for the rule to apply;
+computed registries are skipped (SL004's duplicate-key check and the
+runtime cross-check cover those).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Optional
+
+from repro.analysis.engine import ModuleInfo, Project, Reporter, Rule
+
+_PRODUCER_RE = re.compile(r"^(figure|table)\d+$")
+
+_GOLDEN = "GOLDEN"
+_SCORECARD = "SCORECARD"
+
+
+def _literal_dict_keys(
+    module: ModuleInfo, name: str
+) -> Optional[dict[str, ast.expr]]:
+    """String keys of a module-level ``name = {...}`` literal, if present."""
+    for stmt in module.tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+        ):
+            target, value = stmt.targets[0].id, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            target, value = stmt.target.id, stmt.value
+        else:
+            continue
+        if target != name or not isinstance(value, ast.Dict):
+            continue
+        keys: dict[str, ast.expr] = {}
+        for key in value.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                keys[key.value] = key
+        return keys
+    return None
+
+
+def _producers(module: ModuleInfo) -> dict[str, ast.AST]:
+    """Module-level figure/table producer functions, by name."""
+    return {
+        node.name: node
+        for node in module.tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and _PRODUCER_RE.match(node.name)
+    }
+
+
+class PaperGoldenRule(Rule):
+    """SL006: figure producers, golden data and scorecard specs in lock-step."""
+
+    code = "SL006"
+    title = (
+        "paper-golden completeness: every figure producer has golden data "
+        "and a scorecard entry"
+    )
+
+    def check_module(self, module: ModuleInfo, reporter: Reporter) -> None:
+        """No per-module findings; the rule needs the sibling modules."""
+
+    def finish(self, project: Project, reporter: Reporter) -> None:
+        for _directory, modules in sorted(project.by_directory().items()):
+            by_name = {module.name: module for module in modules}
+            figures = by_name.get("figures")
+            paper_data = by_name.get("paper_data")
+            if figures is None or paper_data is None:
+                continue
+            self._check_pair(figures, paper_data, reporter)
+
+    def _check_pair(
+        self, figures: ModuleInfo, paper_data: ModuleInfo, reporter: Reporter
+    ) -> None:
+        golden = _literal_dict_keys(paper_data, _GOLDEN)
+        if golden is None:
+            return  # computed registry: out of structural reach
+        producers = _producers(figures)
+        for name, node in sorted(producers.items()):
+            if name not in golden:
+                reporter.report(
+                    self.code, figures, node,
+                    f"figure producer {name}() has no {_GOLDEN} entry in "
+                    f"{paper_data.display_path}; the scorecard and the CI "
+                    "regression gate cannot see it drift",
+                )
+        for name, key_node in sorted(golden.items()):
+            if name not in producers:
+                reporter.report(
+                    self.code, paper_data, key_node,
+                    f"{_GOLDEN} entry {name!r} has no matching producer in "
+                    f"{figures.display_path}; rename or remove the stale "
+                    "golden data",
+                )
+        scorecard = _literal_dict_keys(paper_data, _SCORECARD)
+        if scorecard is None:
+            return
+        for name, key_node in sorted(golden.items()):
+            if name not in scorecard:
+                reporter.report(
+                    self.code, paper_data, key_node,
+                    f"{_GOLDEN} entry {name!r} has no {_SCORECARD} spec; "
+                    "`repro scorecard` never scores the series",
+                )
+        for name, key_node in sorted(scorecard.items()):
+            if name not in golden:
+                reporter.report(
+                    self.code, paper_data, key_node,
+                    f"{_SCORECARD} entry {name!r} has no {_GOLDEN} data; "
+                    "scoring it would fail at runtime",
+                )

@@ -13,6 +13,11 @@ Commands::
     validate [--scale S]                 check the reproduction's shape claims
     sweep --out R.jsonl [...]            crash-safe multi-point sweep
     lint [PATH ...]                      simulator-aware static analysis
+    scorecard [--json] [--out F]         paper-fidelity scorecard (MAPE,
+                                         geomean delta, Spearman rank corr.)
+    diff REF [REF2] [--rtol R]           tolerance-checked metric diff;
+                                         exits 1 on drift (the CI gate)
+    report [--html F]                    self-contained HTML results report
 
 ``run`` takes ``--telemetry`` (stall attribution + heartbeat),
 ``--trace-out FILE`` (Chrome trace-event JSON; open in chrome://tracing
@@ -31,8 +36,14 @@ immediately, so an interrupted sweep resumes where it left off::
     python -m repro sweep --apps KM BFS --configs base apres \\
         --out results.jsonl --resume-from results.jsonl   # only the rest
 
-Exit codes: 0 success, 1 failed validation, failed sweep points, or lint
-findings, 2 a :class:`~repro.errors.ReproError` aborted the command.
+``run``, ``sweep``, ``figure``, ``table`` and ``scorecard`` ingest their
+results into the registry (``bench_results/registry`` by default,
+``REPRO_REGISTRY_DIR`` to relocate, ``--no-registry`` to skip), which is
+what ``repro diff <run-id>`` and ``repro report`` read back.
+
+Exit codes: 0 success, 1 failed validation, failed sweep points, lint
+findings, or a diff outside tolerance, 2 a
+:class:`~repro.errors.ReproError` aborted the command.
 """
 
 from __future__ import annotations
@@ -116,6 +127,27 @@ def _build_run_hub(args: argparse.Namespace):
     return hub
 
 
+def _registry(args: argparse.Namespace):
+    """The session registry store, or None under ``--no-registry``."""
+    if getattr(args, "no_registry", False):
+        return None
+    from repro.registry.store import RegistryStore
+
+    return RegistryStore()
+
+
+def _ingest_figure(args: argparse.Namespace, name: str, payload: object,
+                   scale: float, apps: Optional[Sequence[str]] = None) -> None:
+    """Ingest one regenerated figure/table payload into the registry."""
+    registry = _registry(args)
+    if registry is None:
+        return
+    from repro.registry.records import figure_record
+
+    record = registry.put(figure_record(name, payload, scale, apps))
+    print(f"registry: {record.run_id} ({name}) -> {registry.root}")
+
+
 def _stall_rows(report: dict) -> list:
     total = report["stall_cycles"] or 1
     rows = [
@@ -129,9 +161,14 @@ def _stall_rows(report: dict) -> list:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    import time
+
     hub = _build_run_hub(args)
+    gpu_config = _limited_gpu_config(args)
+    started = time.perf_counter()
     result = run(args.app, args.config, scale=args.scale,
-                 gpu_config=_limited_gpu_config(args), telemetry=hub)
+                 gpu_config=gpu_config, telemetry=hub)
+    wall_time_s = time.perf_counter() - started
     s = result.sim.stats
     rows = [
         ["cycles", s.cycles],
@@ -160,6 +197,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   "(open in chrome://tracing or https://ui.perfetto.dev)")
         if getattr(args, "intervals_out", None):
             print(f"interval metrics: {args.intervals_out}")
+    registry = _registry(args)
+    if registry is not None:
+        from repro.registry.records import run_record
+
+        stalls = hub.stall_summary(s) if hub is not None else None
+        record = registry.put(run_record(
+            result, args.scale, gpu_config,
+            stalls=stalls, wall_time_s=wall_time_s,
+        ))
+        print(f"registry: {record.run_id} -> {registry.root}")
     return 0
 
 
@@ -272,6 +319,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
         ["Total", cost.total_bytes],
     ]
     print(format_table(["Structure", "Bytes"], rows, title="Table II"))
+    _ingest_figure(args, "table2", cost, args.scale)
     return 0
 
 
@@ -287,20 +335,8 @@ def _cmd_characterize_all(args: argparse.Namespace) -> int:
     print(format_table(
         ["App", "PC", "%Load", "#L/#R", "MissRate", "Stride", "%Stride"],
         rows, title="Table I"))
+    _ingest_figure(args, "table1", data, args.scale)
     return 0
-
-
-_FIGURES = {
-    2: lambda scale, apps: _print_figure2(scale, apps),
-    3: lambda scale, apps: _print_grid(figures.figure3(apps, scale), "Figure 3"),
-    4: lambda scale, apps: _print_grid(figures.figure4(apps, scale), "Figure 4"),
-    10: lambda scale, apps: _print_grid(figures.figure10(apps, scale), "Figure 10"),
-    11: lambda scale, apps: _print_figure11(scale, apps),
-    12: lambda scale, apps: _print_grid(figures.figure12(apps, scale), "Figure 12"),
-    13: lambda scale, apps: _print_grid(figures.figure13(apps, scale), "Figure 13"),
-    14: lambda scale, apps: _print_grid(figures.figure14(apps, scale), "Figure 14"),
-    15: lambda scale, apps: _print_grid(figures.figure15(apps, scale), "Figure 15"),
-}
 
 
 def _print_grid(data: dict, title: str) -> None:
@@ -309,8 +345,7 @@ def _print_grid(data: dict, title: str) -> None:
     print(format_table(["Config"] + apps, rows, title=title))
 
 
-def _print_figure2(scale: float, apps: Optional[Sequence[str]]) -> None:
-    data = figures.figure2(apps, scale)
+def _print_figure2(data: dict) -> None:
     rows = []
     for app, variants in data.items():
         for label in ("B", "C"):
@@ -321,8 +356,7 @@ def _print_figure2(scale: float, apps: Optional[Sequence[str]]) -> None:
                        title="Figure 2"))
 
 
-def _print_figure11(scale: float, apps: Optional[Sequence[str]]) -> None:
-    data = figures.figure11(apps, scale)
+def _print_figure11(data: dict) -> None:
     rows = []
     for app, per_config in data.items():
         for label, r in per_config.items():
@@ -332,9 +366,28 @@ def _print_figure11(scale: float, apps: Optional[Sequence[str]]) -> None:
         ["App", "Cfg", "HaH", "HaM", "Cold", "Cap+Conf"], rows, title="Figure 11"))
 
 
+_FIGURE_PRINTERS = {
+    2: _print_figure2,
+    3: lambda data: _print_grid(data, "Figure 3"),
+    4: lambda data: _print_grid(data, "Figure 4"),
+    10: lambda data: _print_grid(data, "Figure 10"),
+    11: _print_figure11,
+    12: lambda data: _print_grid(data, "Figure 12"),
+    13: lambda data: _print_grid(data, "Figure 13"),
+    14: lambda data: _print_grid(data, "Figure 14"),
+    15: lambda data: _print_grid(data, "Figure 15"),
+}
+
+#: Numbers accepted by ``repro figure`` (kept for parser choices).
+_FIGURES = _FIGURE_PRINTERS
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     apps = args.apps or None
-    _FIGURES[args.number](args.scale, apps)
+    name = f"figure{args.number}"
+    payload = getattr(figures, name)(apps, args.scale)
+    _FIGURE_PRINTERS[args.number](payload)
+    _ingest_figure(args, name, payload, args.scale, apps)
     return 0
 
 
@@ -354,6 +407,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                  else f"{record['error']}: {record['message']}")
         print(f"[sweep] {point.key}: {status} ({extra})")
 
+    registry = _registry(args)
     summary = run_sweep(
         points,
         args.out,
@@ -367,6 +421,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         telemetry=args.telemetry or bool(args.trace_dir),
         trace_dir=args.trace_dir,
         telemetry_window=args.window,
+        registry=registry,
     )
     rows = [
         ["points", summary.total_points],
@@ -375,10 +430,172 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ["failed", summary.failed],
         ["results store", summary.out_path],
     ]
+    if registry is not None:
+        rows.append(["registry", str(registry.root)])
     print(format_table(["Sweep", "Value"], rows, title="Sweep summary"))
     if summary.failed_keys:
         print("failed points: " + ", ".join(summary.failed_keys))
     return 1 if summary.failed else 0
+
+
+#: Conventional location of the committed CI baseline scorecard.
+BASELINE_SCORECARD = os.path.join("bench_results", "baseline_scorecard.json")
+
+
+def _cmd_scorecard(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.registry.scorecard import (
+        DEFAULT_SCORECARD_FIGURES,
+        format_scorecard,
+        scorecard,
+    )
+
+    names = list(args.figures) if args.figures else list(DEFAULT_SCORECARD_FIGURES)
+    try:
+        payload = scorecard(figures=names, apps=args.apps or None,
+                            scale=args.scale)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_REPRO_ERROR
+    if args.out:
+        directory = os.path.dirname(args.out)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_scorecard(payload))
+        if args.out:
+            print(f"scorecard json: {args.out}")
+    registry = _registry(args)
+    if registry is not None:
+        from repro.registry.records import scorecard_record
+
+        record = registry.put(scorecard_record(payload))
+        if not args.json:
+            print(f"registry: {record.run_id} -> {registry.root}")
+    return 0
+
+
+def _load_json_metrics(path: str) -> tuple[dict, Optional[dict]]:
+    """Flat metrics (and the raw payload if it was a scorecard) from a file."""
+    import json
+
+    from repro.registry.records import flatten_metrics
+
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if isinstance(payload, dict) and "figures" in payload and "schema" in payload:
+        # A scorecard JSON: diff its fidelity metrics (same slice that
+        # scorecard_record indexes into the registry).
+        return flatten_metrics(payload["figures"]), payload
+    if isinstance(payload, dict) and "metrics" in payload and "run_id" in payload:
+        return dict(payload["metrics"]), None  # an exported registry record
+    return flatten_metrics(payload), None
+
+
+def _resolve_diff_ref(ref: str, nth: int = 0) -> tuple[dict, str, Optional[dict]]:
+    """(flat metrics, label, scorecard payload or None) for one diff ref.
+
+    A ref is ``baseline`` (the committed baseline scorecard), a JSON file
+    path, or a registry run-id prefix (``nth`` selects the occurrence,
+    newest first).
+    """
+    from repro.registry.store import RegistryStore
+
+    path = BASELINE_SCORECARD if ref == "baseline" else ref
+    if os.path.exists(path):
+        metrics, payload = _load_json_metrics(path)
+        return metrics, path, payload
+    record = RegistryStore().resolve(ref, nth=nth)
+    suffix = "" if nth == 0 else f"~{nth}"
+    label = f"{record['run_id']}{suffix} ({record.get('name', '?')})"
+    if record.get("kind") == "scorecard":
+        return dict(record.get("metrics") or {}), label, record.get("data")
+    return dict(record.get("metrics") or {}), label, None
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.registry.diffing import (
+        DEFAULT_ATOL,
+        DEFAULT_RTOL,
+        diff_metrics,
+        format_diff,
+    )
+
+    rtol = DEFAULT_RTOL if args.rtol is None else args.rtol
+    atol = DEFAULT_ATOL if args.atol is None else args.atol
+    overrides = {}
+    for spec in args.tolerance or []:
+        pattern, sep, value = spec.rpartition("=")
+        if not sep or not pattern:
+            print(f"error: --tolerance expects GLOB=RTOL, got {spec!r}",
+                  file=sys.stderr)
+            return EXIT_REPRO_ERROR
+        overrides[pattern] = float(value)
+
+    metrics_a, label_a, scorecard_a = _resolve_diff_ref(args.ref_a)
+    if args.ref_b:
+        metrics_b, label_b, _ = _resolve_diff_ref(args.ref_b)
+    elif scorecard_a is not None:
+        # One scorecard ref: regenerate at its scale/apps and compare.
+        from repro.registry.scorecard import scorecard
+
+        payload = scorecard(
+            figures=sorted(scorecard_a.get("figures") or {}) or None,
+            apps=scorecard_a.get("apps") or None,
+            scale=float(scorecard_a.get("scale") or 0.5),
+        )
+        from repro.registry.records import flatten_metrics
+
+        metrics_b, label_b = flatten_metrics(payload["figures"]), "current"
+    else:
+        # One run-id ref: latest occurrence vs the previous one.
+        metrics_b, label_b = metrics_a, label_a
+        metrics_a, label_a, _ = _resolve_diff_ref(args.ref_a, nth=1)
+
+    report = diff_metrics(
+        metrics_a, metrics_b,
+        rtol=rtol, atol=atol,
+        overrides=overrides, ignore=args.ignore or (),
+        label_a=label_a, label_b=label_b,
+    )
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_diff(report))
+    return 0 if report.ok else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.report import write_html_report
+
+    if args.from_json:
+        with open(args.from_json, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    else:
+        from repro.registry.scorecard import scorecard
+
+        payload = scorecard(figures=args.figures or None,
+                            apps=args.apps or None, scale=args.scale)
+    stall_records: list = []
+    registry = _registry(args)
+    if registry is not None:
+        stall_records = [
+            record for record in registry.list(kind="run", limit=200)
+            if record.get("stalls")
+        ][:10]
+    path = write_html_report(args.html, payload, stall_records)
+    print(f"html report: {path}")
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -420,6 +637,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-heartbeat", action="store_true",
                        help="suppress the periodic progress line on stderr")
 
+    def add_registry_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--no-registry", action="store_true",
+                       help="skip ingesting results into the run registry "
+                            "(bench_results/registry, or REPRO_REGISTRY_DIR)")
+
     p_run = sub.add_parser("run", help="simulate one workload/configuration")
     p_run.add_argument("app", choices=sorted(SUITE))
     p_run.add_argument("config", choices=sorted(CONFIGS))
@@ -435,6 +657,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "--telemetry)")
     add_telemetry_flags(p_run)
     add_integrity_flags(p_run)
+    add_registry_flag(p_run)
 
     p_trace = sub.add_parser(
         "trace",
@@ -466,11 +689,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_table = sub.add_parser("table", help="regenerate a paper table")
     p_table.add_argument("number", type=int, choices=(1, 2))
     p_table.add_argument("--scale", type=float, default=0.5)
+    add_registry_flag(p_table)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure's data")
     p_fig.add_argument("number", type=int, choices=sorted(_FIGURES))
     p_fig.add_argument("--scale", type=float, default=0.5)
     p_fig.add_argument("--apps", nargs="*", metavar="APP")
+    add_registry_flag(p_fig)
 
     p_val = sub.add_parser("validate", help="check the reproduction's shape claims")
     p_val.add_argument("--scale", type=float, default=0.5)
@@ -506,9 +731,64 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--window", type=int, default=5_000, metavar="N",
                          help="interval-metrics window in simulated cycles")
     add_integrity_flags(p_sweep)
+    add_registry_flag(p_sweep)
+
+    p_score = sub.add_parser(
+        "scorecard",
+        help="paper-fidelity scorecard: MAPE, geomean delta and Spearman "
+             "rank correlation vs the paper's numbers",
+    )
+    p_score.add_argument("--scale", type=float, default=0.5)
+    p_score.add_argument("--apps", nargs="*", metavar="APP",
+                         help="restrict scoring to these workloads")
+    p_score.add_argument("--figures", nargs="*", metavar="FIG",
+                         help="producer names to score (default: "
+                              "figure10..figure15)")
+    p_score.add_argument("--json", action="store_true",
+                         help="emit the scorecard payload as JSON on stdout")
+    p_score.add_argument("--out", metavar="FILE", default=None,
+                         help="also write the scorecard JSON to FILE")
+    add_registry_flag(p_score)
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="tolerance-checked metric diff between registry records, "
+             "scorecard JSON files, or 'baseline'; exits 1 on drift",
+    )
+    p_diff.add_argument("ref_a", metavar="REF",
+                        help="run-id prefix, JSON file, or 'baseline' "
+                             f"({BASELINE_SCORECARD})")
+    p_diff.add_argument("ref_b", nargs="?", metavar="REF2", default=None,
+                        help="second ref (default: regenerate a scorecard "
+                             "ref, or the run id's previous occurrence)")
+    p_diff.add_argument("--rtol", type=float, default=None, metavar="R",
+                        help="relative tolerance (default 0.05)")
+    p_diff.add_argument("--atol", type=float, default=None, metavar="A",
+                        help="absolute tolerance floor (default 1e-9)")
+    p_diff.add_argument("--tolerance", action="append", metavar="GLOB=RTOL",
+                        help="per-metric rtol override (repeatable; first "
+                             "matching glob wins)")
+    p_diff.add_argument("--ignore", nargs="*", metavar="GLOB", default=[],
+                        help="metric globs to skip entirely")
+    p_diff.add_argument("--json", action="store_true",
+                        help="emit the diff report as JSON on stdout")
+
+    p_rep = sub.add_parser(
+        "report", help="write the self-contained HTML results report"
+    )
+    p_rep.add_argument("--html", metavar="FILE",
+                       default=os.path.join("bench_results", "report.html"),
+                       help="output path (default bench_results/report.html)")
+    p_rep.add_argument("--from", dest="from_json", metavar="FILE", default=None,
+                       help="reuse an existing scorecard JSON instead of "
+                            "re-running the simulations")
+    p_rep.add_argument("--scale", type=float, default=0.5)
+    p_rep.add_argument("--apps", nargs="*", metavar="APP")
+    p_rep.add_argument("--figures", nargs="*", metavar="FIG")
+    add_registry_flag(p_rep)
 
     p_lint = sub.add_parser(
-        "lint", help="simulator-aware static analysis (simlint SL001-SL005)"
+        "lint", help="simulator-aware static analysis (simlint SL001-SL006)"
     )
     from repro.analysis.cli import add_lint_arguments
 
@@ -526,6 +806,9 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "validate": _cmd_validate,
     "sweep": _cmd_sweep,
+    "scorecard": _cmd_scorecard,
+    "diff": _cmd_diff,
+    "report": _cmd_report,
     "lint": _cmd_lint,
 }
 

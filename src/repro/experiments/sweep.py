@@ -28,7 +28,7 @@ import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import sleep as _default_sleep
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Any, Callable, Iterable, Optional, Sequence
 
 from repro.config import GPUConfig
 from repro.errors import ReproError, SimulationError, WatchdogTimeout
@@ -138,6 +138,39 @@ class SweepSummary:
         return self.simulated + self.skipped - self.failed
 
 
+def _base_provenance(gpu_config: Optional[GPUConfig]) -> dict:
+    """Sweep-wide provenance, computed once per invocation.
+
+    Every record (success or failure) is stamped with the commit, the
+    GPUConfig content hash and the ``REPRO_BENCH_SCALE`` environment so a
+    stored point can always be traced back to the code and settings that
+    produced it.
+    """
+    from repro.experiments.configs import experiment_gpu_config
+    from repro.registry.provenance import git_sha
+    from repro.registry.records import config_hash
+
+    return {
+        "git_sha": git_sha(),
+        "config_hash": config_hash(gpu_config or experiment_gpu_config()),
+        "bench_scale_env": os.environ.get("REPRO_BENCH_SCALE"),
+    }
+
+
+def _point_provenance(point: SweepPoint, base: dict) -> dict:
+    """Per-point provenance: base stamp + scheduler/prefetcher/seed."""
+    from repro.registry.records import workload_seed
+    from repro.workloads.suite import workload
+
+    spec = CONFIGS.get(point.config_name)
+    return {
+        **base,
+        "scheduler": spec.scheduler if spec else point.config_name,
+        "prefetcher": (spec.prefetcher or "none") if spec else "none",
+        "seed": workload_seed(workload(point.workload)),
+    }
+
+
 def _ok_record(point: SweepPoint, result: RunResult, attempts: int) -> dict:
     s = result.sim.stats
     return {
@@ -216,6 +249,7 @@ def run_sweep(
     telemetry: bool = False,
     trace_dir: Optional[str] = None,
     telemetry_window: int = 5_000,
+    registry: Optional[Any] = None,
 ) -> SweepSummary:
     """Run every point, persisting each result to ``out_path`` as it lands.
 
@@ -231,8 +265,14 @@ def run_sweep(
     record; ``trace_dir`` additionally writes one Chrome trace-event JSON
     per point (``<key>.trace.json``, ``|`` replaced by ``_``). Telemetry
     points bypass the runner's memoisation cache by design.
+
+    ``registry`` optionally names a
+    :class:`~repro.registry.store.RegistryStore`; every successful point
+    is then also ingested as a registry run record (identity-hashed, with
+    the same provenance stamp its JSONL record carries).
     """
     points = list(points)
+    base_prov = _base_provenance(gpu_config)
     store = ResultsStore(out_path)
     done: dict[str, dict] = {}
     if resume_from:
@@ -267,7 +307,14 @@ def run_sweep(
             trace_dir=trace_dir,
             telemetry_window=telemetry_window,
         )
+        record["provenance"] = _point_provenance(point, base_prov)
         store.append(record)
+        if registry is not None:
+            from repro.registry.records import sweep_point_record
+
+            reg_record = sweep_point_record(record)
+            if reg_record is not None:
+                registry.put(reg_record)
         done[point.key] = record
         summary.simulated += 1
         if record["status"] != "ok":
@@ -333,10 +380,11 @@ def _attach_telemetry(
     trace_dir: Optional[str],
 ) -> None:
     """Fold the point's stall attribution (and optional trace) into its record."""
-    report = hub.reconcile(result.sim.stats)  # raises InvariantError on drift
-    record["stalls"] = report["by_cause"]
-    record["issue_cycles"] = report["issue_cycles"]
-    record["stall_cycles"] = report["stall_cycles"]
+    # stall_summary reconciles first — raises InvariantError on drift.
+    summary = hub.stall_summary(result.sim.stats)
+    record["stalls"] = summary
+    record["issue_cycles"] = summary["issue_cycles"]
+    record["stall_cycles"] = summary["stall_cycles"]
     if trace_dir:
         os.makedirs(trace_dir, exist_ok=True)
         trace_path = os.path.join(

@@ -97,6 +97,24 @@ def check_claims(scale: float = 0.5,
         f"{cost.total_bytes} bytes",
         cost.total_bytes == 724,
     )
+    # Fidelity claim: the scorecard's per-figure orderings must broadly
+    # transfer. The bar is deliberately lenient (mean Spearman, not
+    # per-figure): magnitudes compress on this substrate by design, and
+    # per-figure tolerances belong to `repro diff` / CI, not here.
+    from repro.registry.scorecard import score_figure
+
+    f10_score = score_figure("figure10", apps=apps, scale=scale,
+                             measured={k: {a: v for a, v in per.items()
+                                           if not a.startswith(("GMEAN", "MEAN"))}
+                                       for k, per in f10.items()})
+    rho = f10_score.spearman
+    claim(
+        "Fig 10 per-app speedup ordering correlates with the paper",
+        "scorecard Spearman > 0 (see `repro scorecard`)",
+        "insufficient apps for rank correlation" if rho is None
+        else f"mean Spearman={rho:+.2f}",
+        rho is None or rho > 0.0,
+    )
     return results
 
 

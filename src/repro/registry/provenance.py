@@ -1,0 +1,76 @@
+"""Run provenance: who produced a number, from which code, on what host.
+
+A reproduction number without provenance cannot be trusted after the
+fact — "which commit produced bench_results/figure10.txt?" must have a
+mechanical answer. Every registry record therefore embeds the dict
+returned by :func:`collect_provenance`. All fields degrade gracefully
+(``None``) outside a git checkout or on exotic hosts; provenance must
+never make a simulation fail.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import platform
+import subprocess
+import time
+from typing import Optional
+
+import repro
+
+#: Environment knob that scales benchmark workloads; recorded so a stored
+#: figure can never be mistaken for a differently-scaled one.
+BENCH_SCALE_ENV = "REPRO_BENCH_SCALE"
+
+
+def _repo_root() -> pathlib.Path:
+    """Directory to resolve git metadata from (the source checkout)."""
+    return pathlib.Path(__file__).resolve().parents[3]
+
+
+def _git(*args: str) -> Optional[str]:
+    try:
+        proc = subprocess.run(
+            ("git",) + args,
+            cwd=_repo_root(),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def git_sha(short: bool = False) -> Optional[str]:
+    """Current HEAD commit, or None outside a git checkout."""
+    if short:
+        return _git("rev-parse", "--short", "HEAD")
+    return _git("rev-parse", "HEAD")
+
+
+def git_dirty() -> Optional[bool]:
+    """True when the working tree has uncommitted changes (None: unknown)."""
+    status = _git("status", "--porcelain")
+    if status is None:
+        # Distinguish "clean" (empty output) from "git failed": _git folds
+        # both to None, so re-check that a repo is visible at all.
+        return None if _git("rev-parse", "HEAD") is None else False
+    return bool(status.strip())
+
+
+def collect_provenance() -> dict:
+    """Provenance dict stamped on every registry record and sweep point."""
+    return {
+        "git_sha": git_sha(),
+        "git_dirty": git_dirty(),
+        "code_version": repro.__version__,
+        "host": platform.node(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "bench_scale_env": os.environ.get(BENCH_SCALE_ENV),
+        "created_unix": time.time(),
+    }

@@ -1,0 +1,220 @@
+"""SQLite-indexed, JSONL-mirrored registry store.
+
+Two complementary persistence layers, written in lock-step:
+
+* ``registry.db`` — a SQLite index over (run_id, kind, name, created_at,
+  git_sha, scale) with the full record as JSON. Queries (latest record of
+  a figure, history of a run id, prefix resolution) go through it.
+* ``records.jsonl`` — an append-only JSONL mirror, flushed and fsynced
+  per record exactly like the sweep store. It is the crash-safe source of
+  truth: :meth:`RegistryStore.rebuild_index` reconstructs the SQLite
+  index from it, so a corrupted or deleted ``.db`` never loses data.
+
+The same identity may be ingested many times (the point of a registry:
+tracking one experiment across commits); every occurrence is kept, and
+"latest occurrence wins" is a query-time choice, not a storage one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sqlite3
+import time
+from typing import Any, Optional, Union
+
+from repro.errors import ReproError
+from repro.registry.records import RunRecord
+
+PathLike = Union[str, pathlib.Path]
+
+#: Default store location, relative to the working directory.
+DEFAULT_REGISTRY_DIR = os.path.join("bench_results", "registry")
+
+#: Environment override for the store root (tests, CI sandboxes).
+REGISTRY_DIR_ENV = "REPRO_REGISTRY_DIR"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS records (
+    seq        INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id     TEXT NOT NULL,
+    kind       TEXT NOT NULL,
+    name       TEXT NOT NULL,
+    created_at REAL NOT NULL,
+    git_sha    TEXT,
+    scale      REAL,
+    json       TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_records_run ON records (run_id, seq);
+CREATE INDEX IF NOT EXISTS idx_records_kind ON records (kind, name, seq);
+"""
+
+
+class RegistryError(ReproError):
+    """A registry lookup or write failed."""
+
+
+class RegistryStore:
+    """Persistent run-record store (SQLite index + JSONL mirror)."""
+
+    def __init__(self, root: Optional[PathLike] = None):
+        resolved = root or os.environ.get(REGISTRY_DIR_ENV) or DEFAULT_REGISTRY_DIR
+        self.root = pathlib.Path(resolved)
+        self.db_path = self.root / "registry.db"
+        self.jsonl_path = self.root / "records.jsonl"
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def put(self, record: RunRecord) -> RunRecord:
+        """Persist one record (JSONL first — it is the source of truth)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = record.as_dict()
+        line = json.dumps(payload, sort_keys=True, default=str)
+        with open(self.jsonl_path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._index(payload, line)
+        return record
+
+    def _index(self, payload: dict, line: str) -> None:
+        with self._connect() as conn:
+            conn.execute(
+                "INSERT INTO records (run_id, kind, name, created_at, git_sha,"
+                " scale, json) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    payload["run_id"],
+                    payload["kind"],
+                    payload["name"],
+                    float(payload.get("provenance", {}).get("created_unix")
+                          or time.time()),
+                    payload.get("provenance", {}).get("git_sha"),
+                    payload.get("identity", {}).get("scale"),
+                    line,
+                ),
+            )
+
+    def rebuild_index(self) -> int:
+        """Reconstruct ``registry.db`` from the JSONL mirror; returns rows."""
+        if self.db_path.exists():
+            self.db_path.unlink()
+        count = 0
+        for payload, line in self._iter_jsonl():
+            self._index(payload, line)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def count(self) -> int:
+        if not self.db_path.exists():
+            return 0
+        with self._connect() as conn:
+            row = conn.execute("SELECT COUNT(*) FROM records").fetchone()
+        return int(row[0])
+
+    def latest(self, kind: Optional[str] = None,
+               name: Optional[str] = None) -> Optional[dict]:
+        """Most recently ingested record, optionally filtered."""
+        rows = self.list(kind=kind, name=name, limit=1)
+        return rows[0] if rows else None
+
+    def list(self, kind: Optional[str] = None, name: Optional[str] = None,
+             limit: int = 50) -> list[dict]:
+        """Newest-first records matching the filters."""
+        if not self.db_path.exists():
+            return []
+        clauses, params = [], []
+        if kind is not None:
+            clauses.append("kind = ?")
+            params.append(kind)
+        if name is not None:
+            clauses.append("name = ?")
+            params.append(name)
+        where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+        with self._connect() as conn:
+            rows = conn.execute(
+                f"SELECT json FROM records{where} ORDER BY seq DESC LIMIT ?",
+                (*params, int(limit)),
+            ).fetchall()
+        return [json.loads(row[0]) for row in rows]
+
+    def history(self, run_id: str, limit: int = 50) -> list[dict]:
+        """Newest-first occurrences of one identity hash."""
+        if not self.db_path.exists():
+            return []
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT json FROM records WHERE run_id = ?"
+                " ORDER BY seq DESC LIMIT ?",
+                (run_id, int(limit)),
+            ).fetchall()
+        return [json.loads(row[0]) for row in rows]
+
+    def resolve(self, ref: str, nth: int = 0) -> dict:
+        """Record whose run_id starts with ``ref`` (``nth`` newest-first).
+
+        Raises :class:`RegistryError` when the prefix matches nothing or
+        is ambiguous across distinct run ids.
+        """
+        if not self.db_path.exists():
+            raise RegistryError(
+                f"registry at {self.root} is empty; run `repro run`/`repro "
+                "sweep` or the benchmarks to populate it",
+                details={"root": str(self.root)},
+            )
+        with self._connect() as conn:
+            ids = conn.execute(
+                "SELECT DISTINCT run_id FROM records WHERE run_id LIKE ?",
+                (ref + "%",),
+            ).fetchall()
+        distinct = sorted(row[0] for row in ids)
+        if not distinct:
+            raise RegistryError(
+                f"no registry record matches run-id prefix {ref!r}",
+                details={"ref": ref, "root": str(self.root)},
+            )
+        if len(distinct) > 1:
+            raise RegistryError(
+                f"run-id prefix {ref!r} is ambiguous: "
+                + ", ".join(distinct[:8]),
+                details={"ref": ref, "matches": distinct},
+            )
+        occurrences = self.history(distinct[0], limit=nth + 1)
+        if len(occurrences) <= nth:
+            raise RegistryError(
+                f"run id {distinct[0]} has only {len(occurrences)} "
+                f"occurrence(s); cannot take occurrence #{nth}",
+                details={"run_id": distinct[0], "nth": nth},
+            )
+        return occurrences[nth]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        self.root.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(self.db_path)
+        conn.executescript(_SCHEMA)
+        return conn
+
+    def _iter_jsonl(self):
+        if not self.jsonl_path.exists():
+            return
+        with open(self.jsonl_path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail from a crash mid-append
+                if isinstance(payload, dict) and "run_id" in payload:
+                    yield payload, line

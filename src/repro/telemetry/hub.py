@@ -161,3 +161,22 @@ class TelemetryHub:
         """Stall report, with the SimStats identities enforced."""
         assert self.stalls is not None
         return self.stalls.reconcile(stats, self.num_sms)
+
+    def stall_summary(self, stats: "SimStats") -> dict[str, Any]:
+        """Compact reconciled stall summary for registry records.
+
+        The full report carries the reconciliation proof; registry records
+        only need the attribution itself plus the dominant cause, so this
+        is what ``repro run``/``repro sweep`` embed under ``stalls``.
+        """
+        report = self.reconcile(stats)
+        by_cause = {k: v for k, v in report["by_cause"].items() if v}
+        top_cause = max(by_cause, key=by_cause.__getitem__) if by_cause else None
+        total = report["stall_cycles"] or 1
+        return {
+            "by_cause": by_cause,
+            "issue_cycles": report["issue_cycles"],
+            "stall_cycles": report["stall_cycles"],
+            "top_cause": top_cause,
+            "top_share": (by_cause[top_cause] / total) if top_cause else 0.0,
+        }

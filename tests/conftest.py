@@ -13,6 +13,18 @@ from repro.isa.program import KernelSpec
 GB = 1 << 30
 
 
+@pytest.fixture(autouse=True)
+def _isolated_registry(tmp_path_factory, monkeypatch):
+    """Keep CLI/benchmark registry ingestion out of the working tree.
+
+    Commands like ``repro run`` auto-ingest into bench_results/registry
+    relative to the CWD; tests must never touch that store.
+    """
+    monkeypatch.setenv(
+        "REPRO_REGISTRY_DIR", str(tmp_path_factory.mktemp("registry"))
+    )
+
+
 def make_config(
     num_sms: int = 1,
     max_warps: int = 8,

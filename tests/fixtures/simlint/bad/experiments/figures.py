@@ -1,0 +1,26 @@
+"""SL006 bad fixture: producers drifted from the golden data.
+
+``figure99`` and ``table5`` have no GOLDEN entries, so the scorecard
+never sees them drift; see the paired ``paper_data.py`` for the stale
+and unscored golden keys.
+"""
+
+
+def figure10(apps=None, scale=0.5):
+    return {"apres": {"BFS": 1.46, "KM": 2.20}}
+
+
+def figure11(apps=None, scale=0.5):
+    return {"A": {"BFS": 0.61, "KM": 0.38}}
+
+
+def figure99(apps=None, scale=0.5):  # no GOLDEN entry: escapes the gate
+    return {"apres": {"BFS": 1.0}}
+
+
+def table5(scale=0.5):  # no GOLDEN entry either
+    return {"bytes": {"total": 12.0}}
+
+
+def build_grid(rows):  # not a producer: name does not match figureN/tableN
+    return dict(rows)

@@ -1,0 +1,18 @@
+"""SL006 bad fixture: golden data drifted from the producers.
+
+``figure42`` is stale (no producer of that name exists any more),
+``figure11``/``figure42`` have golden data but no SCORECARD spec (so
+they are never scored), and ``table7`` has a spec without golden data
+(so scoring it would fail at runtime).
+"""
+
+GOLDEN = {
+    "figure10": {"apres": {"BFS": 1.46, "KM": 2.20}},
+    "figure11": {"A": {"BFS": 0.61, "KM": 0.38}},
+    "figure42": {"apres": {"BFS": 1.0}},  # stale: producer was removed
+}
+
+SCORECARD = {
+    "figure10": {"kind": "grid", "ylabel": "speedup"},
+    "table7": {"kind": "table7", "ylabel": "bytes"},  # spec without goldens
+}

@@ -1,0 +1,13 @@
+"""SL006 good fixture: producers, goldens and scorecard in lock-step."""
+
+
+def figure10(apps=None, scale=0.5):
+    return {"apres": {"BFS": 1.46, "KM": 2.20}}
+
+
+def table2():
+    return {"bytes": {"total": 724.0}}
+
+
+def build_grid(rows):  # helpers are exempt: name is not figureN/tableN
+    return dict(rows)

@@ -1,0 +1,11 @@
+"""SL006 good fixture: one GOLDEN + SCORECARD entry per producer."""
+
+GOLDEN = {
+    "figure10": {"apres": {"BFS": 1.46, "KM": 2.20}},
+    "table2": {"bytes": {"total": 724.0}},
+}
+
+SCORECARD = {
+    "figure10": {"kind": "grid", "ylabel": "speedup"},
+    "table2": {"kind": "table2", "ylabel": "bytes"},
+}

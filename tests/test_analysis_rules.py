@@ -202,6 +202,38 @@ class TestSL005FrozenConfig:
         assert run_lint([GOOD / "config_mutation.py"]).clean
 
 
+class TestSL006PaperGolden:
+    def test_bad_fixture_fires_every_drift_mode(self):
+        result = run_lint([BAD / "experiments"])
+        assert by_rule(result) == {"SL006": 6}
+        messages = " | ".join(f.message for f in result.findings)
+        assert "figure99() has no GOLDEN entry" in messages
+        assert "table5() has no GOLDEN entry" in messages
+        assert "'figure42' has no matching producer" in messages
+        assert "'figure11' has no SCORECARD spec" in messages
+        assert "'figure42' has no SCORECARD spec" in messages
+        assert "'table7' has no GOLDEN data" in messages
+
+    def test_silent_without_the_module_pair(self, tmp_path):
+        # figures.py alone (or paper_data.py alone) must not fire: the
+        # rule needs both sides of the contract in the same directory.
+        target = tmp_path / "figures.py"
+        target.write_text((BAD / "experiments" / "figures.py").read_text())
+        assert run_lint([target]).clean
+
+    def test_silent_when_golden_is_computed(self, tmp_path):
+        # A GOLDEN built by code is out of structural reach: skip, don't
+        # guess (the runtime scorecard covers it).
+        (tmp_path / "figures.py").write_text("def figure1():\n    return {}\n")
+        (tmp_path / "paper_data.py").write_text(
+            "def _build():\n    return {}\n\n\nGOLDEN = _build()\n"
+        )
+        assert run_lint([tmp_path]).clean
+
+    def test_good_fixture_clean(self):
+        assert run_lint([GOOD / "experiments"]).clean
+
+
 class TestFixtureTrees:
     def test_bad_tree_totals(self):
         result = run_lint([BAD])
@@ -211,6 +243,7 @@ class TestFixtureTrees:
             "SL003": 7,
             "SL004": 5,
             "SL005": 3,
+            "SL006": 6,
         }
 
     def test_good_tree_is_clean(self):
@@ -275,6 +308,8 @@ class TestEngineBehaviour:
         assert payload["schema_version"] == 1
         assert payload["summary"]["total"] == 3
         assert payload["summary"]["by_rule"] == {"SL005": 3}
-        assert set(payload["rules"]) == {"SL001", "SL002", "SL003", "SL004", "SL005"}
+        assert set(payload["rules"]) == {
+            "SL001", "SL002", "SL003", "SL004", "SL005", "SL006",
+        }
         for finding in payload["findings"]:
             assert set(finding) == {"path", "line", "col", "rule", "message"}

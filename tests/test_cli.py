@@ -28,6 +28,45 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "5"])
 
+    def test_scorecard_args(self):
+        args = build_parser().parse_args([
+            "scorecard", "--figures", "figure10", "figure11",
+            "--apps", "BFS", "KM", "--json", "--out", "card.json",
+        ])
+        assert args.figures == ["figure10", "figure11"]
+        assert args.apps == ["BFS", "KM"]
+        assert args.json is True
+        assert args.out == "card.json"
+        assert args.no_registry is False
+
+    def test_diff_args(self):
+        args = build_parser().parse_args([
+            "diff", "baseline", "current.json",
+            "--rtol", "0.1", "--tolerance", "figure10.*=0.2",
+            "--ignore", "*.spearman",
+        ])
+        assert args.ref_a == "baseline"
+        assert args.ref_b == "current.json"
+        assert args.rtol == 0.1
+        assert args.tolerance == ["figure10.*=0.2"]
+        assert args.ignore == ["*.spearman"]
+
+    def test_diff_requires_a_ref(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["diff"])
+
+    def test_diff_tolerances_default_unset(self):
+        args = build_parser().parse_args(["diff", "baseline"])
+        assert args.rtol is None and args.atol is None
+        assert args.ref_b is None
+
+    def test_report_args(self, tmp_path):
+        args = build_parser().parse_args([
+            "report", "--html", "out.html", "--from", "card.json",
+        ])
+        assert args.html == "out.html"
+        assert args.from_json == "card.json"
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -67,3 +106,28 @@ class TestCommands:
         assert main(["figure", "2", "--scale", "0.05", "--apps", "KM"]) == 0
         out = capsys.readouterr().out
         assert "Cap+Conf" in out
+
+    def test_report_from_scorecard_json(self, tmp_path, capsys):
+        from repro.experiments import paper_data
+        from repro.registry.scorecard import scorecard
+
+        measured = {"figure10": {
+            series: dict(per_app)
+            for series, per_app in paper_data.GOLDEN["figure10"].items()
+        }}
+        card = tmp_path / "card.json"
+        import json
+
+        card.write_text(json.dumps(
+            scorecard(figures=["figure10"], measured=measured)))
+        html = tmp_path / "report.html"
+        assert main(["report", "--from", str(card), "--html", str(html)]) == 0
+        assert "html report" in capsys.readouterr().out
+        text = html.read_text()
+        assert "<html" in text
+        assert "figure10" in text
+        assert "Paper-fidelity scorecard" in text or "scorecard" in text.lower()
+
+    def test_diff_unknown_ref_is_an_error(self, capsys):
+        assert main(["diff", "no-such-ref"]) == 2
+        assert "registry" in capsys.readouterr().err.lower()
