@@ -14,7 +14,11 @@ check after hours of simulation have burned:
 * **SL004 registry completeness** — every scheduler/prefetcher class
   registered, every registry entry resolvable;
 * **SL005 frozen-config mutation** — configs change only through
-  ``dataclasses.replace``.
+  ``dataclasses.replace``;
+* **SL006 paper-golden completeness** — every figure/table producer has
+  golden paper data and a scorecard spec, and vice versa;
+* **SL007 hot-path slots** — ``sm``/``mem`` classes declare
+  ``__slots__`` and stay picklable across the process-pool boundary.
 
 Run it with ``python -m repro lint [PATH ...]``; suppress one line with
 ``# simlint: ignore[SL001]``. See DESIGN.md § "Static analysis".

@@ -1,4 +1,4 @@
-"""Built-in simlint rules (SL001–SL006).
+"""Built-in simlint rules (SL001–SL007).
 
 Each rule lives in its own module and registers here. ``build_all_rules``
 returns fresh instances for one engine run — rules carry per-run state
@@ -13,6 +13,7 @@ from repro.analysis.engine import Rule
 from repro.analysis.rules.counters import CounterHygieneRule
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.frozen_config import FrozenConfigRule
+from repro.analysis.rules.hotpath_slots import HotPathSlotsRule
 from repro.analysis.rules.paper_golden import PaperGoldenRule
 from repro.analysis.rules.picklability import PicklabilityRule
 from repro.analysis.rules.registries import RegistryCompletenessRule
@@ -25,6 +26,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     RegistryCompletenessRule,
     FrozenConfigRule,
     PaperGoldenRule,
+    HotPathSlotsRule,
 )
 
 

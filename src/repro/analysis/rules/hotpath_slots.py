@@ -1,0 +1,137 @@
+"""SL007 — hot-path classes must declare ``__slots__`` and stay picklable.
+
+The cycle loop allocates and touches ``sm``/``mem`` objects millions of
+times per run, and the parallel sweep backend
+(:mod:`repro.experiments.parallel`) ships whole result graphs between
+processes. A slot-less class in those packages costs twice: every
+instance drags a per-object ``__dict__`` (heap bloat, slower attribute
+access in the hottest loops), and a class defined inside a function can
+never cross a process boundary at all — pickle resolves classes by
+module-level qualname.
+
+Within ``sm``/``mem`` modules this rule flags:
+
+* classes with neither a ``__slots__`` declaration nor
+  ``@dataclass(slots=True)``;
+* classes defined inside functions (unpicklable, regardless of slots).
+
+Exempt: exception types (``pickle`` and ``raise`` machinery expect
+dict-backed instances), ``Enum``/``NamedTuple``/``Protocol``/``ABC``
+subclasses (their metaclasses manage storage), and anything carrying a
+``# simlint: ignore[SL007]``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import ModuleInfo, Reporter, Rule
+
+#: Path parts that mark the cycle loop's object graph. Narrower than the
+#: engine's HOT_PACKAGES on purpose: schedulers/prefetchers allocate per
+#: warp, not per cycle, and their tables are dict-shaped by design.
+SLOTS_PACKAGES = frozenset({"sm", "mem"})
+
+#: Base-class names whose metaclass (or runtime contract) precludes slots.
+EXEMPT_BASES = frozenset({
+    "Enum", "IntEnum", "StrEnum", "Flag", "IntFlag",
+    "NamedTuple", "Protocol", "ABC", "Generic",
+    "BaseException", "Exception",
+})
+
+
+def _base_name(base: ast.expr) -> str:
+    """Terminal name of a base-class expression (``enum.Enum`` -> ``Enum``)."""
+    if isinstance(base, ast.Subscript):  # Protocol[...], Generic[T]
+        base = base.value
+    if isinstance(base, ast.Attribute):
+        return base.attr
+    if isinstance(base, ast.Name):
+        return base.id
+    return ""
+
+
+def _is_exempt(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        name = _base_name(base)
+        if name in EXEMPT_BASES or name.endswith(("Error", "Exception", "Warning")):
+            return True
+    return False
+
+
+def _declares_slots(node: ast.ClassDef) -> bool:
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == "__slots__"
+                   for t in stmt.targets):
+                return True
+        elif isinstance(stmt, ast.AnnAssign):
+            target = stmt.target
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    return False
+
+
+def _is_slotted_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        if _base_name(decorator.func) != "dataclass":
+            continue
+        for keyword in decorator.keywords:
+            if (keyword.arg == "slots"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True):
+                return True
+    return False
+
+
+class _SlotsVisitor(ast.NodeVisitor):
+    def __init__(self, module: ModuleInfo, reporter: Reporter) -> None:
+        self._module = module
+        self._reporter = reporter
+        self._function_depth = 0
+
+    def _visit_function(self, node: "ast.FunctionDef | ast.AsyncFunctionDef") -> None:
+        self._function_depth += 1
+        self.generic_visit(node)
+        self._function_depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if _is_exempt(node):
+            return  # metaclass-managed; nested helpers inside it too
+        if self._function_depth:
+            self._reporter.report(
+                HotPathSlotsRule.code, self._module, node,
+                f"class {node.name} is defined inside a function: pickle "
+                f"resolves classes by module-level qualname, so instances "
+                f"can never cross the process-pool boundary; hoist it to "
+                f"module level",
+            )
+        elif not (_declares_slots(node) or _is_slotted_dataclass(node)):
+            self._reporter.report(
+                HotPathSlotsRule.code, self._module, node,
+                f"hot-path class {node.name} declares no __slots__: every "
+                f"instance carries a __dict__, bloating the cycle loop's "
+                f"heap and slowing attribute access; declare __slots__ or "
+                f"use @dataclass(slots=True)",
+            )
+        self.generic_visit(node)
+
+
+class HotPathSlotsRule(Rule):
+    """SL007: sm/mem classes declare __slots__ and pickle across processes."""
+
+    code = "SL007"
+    title = "hot-path slots: sm/mem classes declare __slots__ and stay picklable"
+
+    def check_module(self, module: ModuleInfo, reporter: Reporter) -> None:
+        if not SLOTS_PACKAGES.intersection(module.path.parts):
+            return
+        _SlotsVisitor(module, reporter).visit(module.tree)

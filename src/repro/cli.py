@@ -12,6 +12,8 @@ Commands::
     figure {2,3,4,10,11,12,13,14,15}     regenerate a paper figure's data
     validate [--scale S]                 check the reproduction's shape claims
     sweep --out R.jsonl [...]            crash-safe multi-point sweep
+    bench [--scale S]                    simulator speed microbenchmark
+                                         (cycles/second -> BENCH_sim_speed.json)
     lint [PATH ...]                      simulator-aware static analysis
     scorecard [--json] [--out F]         paper-fidelity scorecard (MAPE,
                                          geomean delta, Spearman rank corr.)
@@ -27,8 +29,15 @@ add a per-point stall breakdown (and optional traces) to its records.
 
 ``run`` and ``sweep`` accept ``--cycle-budget N`` (hard simulated-cycle
 limit) and ``--watchdog N`` (abort after N cycles without progress, with a
-diagnostic dump). A sweep persists each finished point to its JSONL store
-immediately, so an interrupted sweep resumes where it left off::
+diagnostic dump). ``sweep``, ``figure``, ``table`` and ``scorecard``
+accept ``--jobs N`` (or ``$REPRO_JOBS``; ``0`` = one worker per CPU) to
+fan independent simulation points over a process pool — results are
+bit-identical to a serial run because each point is deterministic and all
+persistence stays in the parent process. ``sweep --no-cache`` forces
+re-simulation of points whose records the registry already holds
+(otherwise they are replayed verbatim — run memoization). A sweep
+persists each finished point to its JSONL store immediately, so an
+interrupted sweep resumes where it left off::
 
     python -m repro sweep --apps KM BFS --configs base apres \\
         --out results.jsonl
@@ -134,6 +143,25 @@ def _registry(args: argparse.Namespace):
     from repro.registry.store import RegistryStore
 
     return RegistryStore()
+
+
+def _resolved_jobs(args: argparse.Namespace) -> int:
+    """--jobs folded with $REPRO_JOBS; exits via ReproError on bad input."""
+    from repro.experiments.parallel import resolve_jobs
+
+    try:
+        return resolve_jobs(getattr(args, "jobs", None))
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+
+
+def _prewarm_points(points, jobs: int) -> None:
+    """Fill the runner cache from a pool so serial producers just walk it."""
+    if jobs <= 1 or not points:
+        return
+    from repro.experiments.parallel import prewarm
+
+    prewarm(points, jobs)
 
 
 def _ingest_figure(args: argparse.Namespace, name: str, payload: object,
@@ -385,6 +413,9 @@ _FIGURES = _FIGURE_PRINTERS
 def _cmd_figure(args: argparse.Namespace) -> int:
     apps = args.apps or None
     name = f"figure{args.number}"
+    from repro.experiments.parallel import figure_points
+
+    _prewarm_points(figure_points(name, apps, args.scale), _resolved_jobs(args))
     payload = getattr(figures, name)(apps, args.scale)
     _FIGURE_PRINTERS[args.number](payload)
     _ingest_figure(args, name, payload, args.scale, apps)
@@ -392,6 +423,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.parallel import ProgressWriter
     from repro.experiments.sweep import run_sweep, sweep_points
 
     try:
@@ -401,11 +433,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_REPRO_ERROR
 
+    jobs = _resolved_jobs(args)
+    # One writer for progress lines and (parallel) worker heartbeats, so
+    # concurrent sources never interleave mid-line.
+    writer = ProgressWriter()
+
     def show_progress(point, record) -> None:
         status = record["status"]
         extra = (f"ipc={record['ipc']:.3f}" if status == "ok"
                  else f"{record['error']}: {record['message']}")
-        print(f"[sweep] {point.key}: {status} ({extra})")
+        writer.line(f"[sweep] {point.key}: {status} ({extra})")
 
     registry = _registry(args)
     summary = run_sweep(
@@ -422,14 +459,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         trace_dir=args.trace_dir,
         telemetry_window=args.window,
         registry=registry,
+        jobs=jobs,
+        use_cache=not args.no_cache,
+        heartbeat_writer=writer,
     )
     rows = [
         ["points", summary.total_points],
         ["simulated", summary.simulated],
         ["skipped (already done)", summary.skipped],
         ["failed", summary.failed],
+        ["jobs", jobs],
         ["results store", summary.out_path],
     ]
+    if registry is not None and not args.no_cache:
+        rows.insert(4, ["cache hits (registry)", summary.cache_hits])
+        rows.insert(5, ["cache misses", summary.cache_misses])
     if registry is not None:
         rows.append(["registry", str(registry.root)])
     print(format_table(["Sweep", "Value"], rows, title="Sweep summary"))
@@ -440,6 +484,68 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 #: Conventional location of the committed CI baseline scorecard.
 BASELINE_SCORECARD = os.path.join("bench_results", "baseline_scorecard.json")
+
+#: Where ``repro bench`` writes its headline speed measurement.
+BENCH_SIM_SPEED = os.path.join("bench_results", "BENCH_sim_speed.json")
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.bench import (
+        DEFAULT_FIGURE2_APPS,
+        DEFAULT_POINTS,
+        run_bench,
+    )
+
+    points = DEFAULT_POINTS
+    if args.apps:
+        points = tuple((app, config) for app, config in DEFAULT_POINTS
+                       if app in args.apps)
+        if not points:
+            points = tuple((app, "base") for app in args.apps)
+    figure2_apps = None if args.no_figure2 else (
+        tuple(args.apps) if args.apps else DEFAULT_FIGURE2_APPS)
+    payload = run_bench(scale=args.scale, points=points,
+                        figure2_apps=figure2_apps)
+
+    out = args.out or BENCH_SIM_SPEED
+    directory = os.path.dirname(out)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        rows = [
+            [p["workload"], p["config"], p["cycles"], f"{p['wall_s']:.2f}",
+             f"{p['cycles_per_s']:,.0f}"]
+            for p in payload["points"]
+        ]
+        totals = payload["totals"]
+        rows.append(["(total)", "-", totals["cycles"],
+                     f"{totals['wall_s']:.2f}",
+                     f"{totals['cycles_per_s']:,.0f}"])
+        print(format_table(
+            ["App", "Config", "Cycles", "Wall s", "Cycles/s"], rows,
+            title=f"Simulation speed (scale={args.scale}, cold cache)"))
+        fig2 = payload.get("figure2")
+        if fig2:
+            print(f"figure2 end-to-end: {fig2['wall_s']:.2f}s "
+                  f"({fig2['num_points']} points, apps: "
+                  f"{', '.join(fig2['apps'])})")
+        print(f"bench json: {out}")
+    registry = _registry(args)
+    if registry is not None:
+        from repro.registry.records import bench_record
+
+        record = registry.put(bench_record(payload))
+        if not args.json:
+            print(f"registry: {record.run_id} -> {registry.root}")
+    return 0
 
 
 def _cmd_scorecard(args: argparse.Namespace) -> int:
@@ -452,6 +558,10 @@ def _cmd_scorecard(args: argparse.Namespace) -> int:
     )
 
     names = list(args.figures) if args.figures else list(DEFAULT_SCORECARD_FIGURES)
+    from repro.experiments.parallel import scorecard_points
+
+    _prewarm_points(scorecard_points(names, args.apps or None, args.scale),
+                    _resolved_jobs(args))
     try:
         payload = scorecard(figures=names, apps=args.apps or None,
                             scale=args.scale)
@@ -642,6 +752,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip ingesting results into the run registry "
                             "(bench_results/registry, or REPRO_REGISTRY_DIR)")
 
+    def add_parallel_flags(p: argparse.ArgumentParser,
+                           cache: bool = False) -> None:
+        p.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="process-pool workers for independent points "
+                            "(default: $REPRO_JOBS, else 1; 0 = one per CPU)")
+        if cache:
+            p.add_argument("--no-cache", action="store_true",
+                           help="re-simulate points even when the registry "
+                                "already archives their records")
+
     p_run = sub.add_parser("run", help="simulate one workload/configuration")
     p_run.add_argument("app", choices=sorted(SUITE))
     p_run.add_argument("config", choices=sorted(CONFIGS))
@@ -689,12 +809,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_table = sub.add_parser("table", help="regenerate a paper table")
     p_table.add_argument("number", type=int, choices=(1, 2))
     p_table.add_argument("--scale", type=float, default=0.5)
+    add_parallel_flags(p_table)
     add_registry_flag(p_table)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure's data")
     p_fig.add_argument("number", type=int, choices=sorted(_FIGURES))
     p_fig.add_argument("--scale", type=float, default=0.5)
     p_fig.add_argument("--apps", nargs="*", metavar="APP")
+    add_parallel_flags(p_fig)
     add_registry_flag(p_fig)
 
     p_val = sub.add_parser("validate", help="check the reproduction's shape claims")
@@ -730,8 +852,26 @@ def build_parser() -> argparse.ArgumentParser:
                               "(implies --telemetry)")
     p_sweep.add_argument("--window", type=int, default=5_000, metavar="N",
                          help="interval-metrics window in simulated cycles")
+    add_parallel_flags(p_sweep, cache=True)
     add_integrity_flags(p_sweep)
     add_registry_flag(p_sweep)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="simulator speed microbenchmark: cycles/second over a fixed "
+             "point set, written to bench_results/BENCH_sim_speed.json",
+    )
+    p_bench.add_argument("--scale", type=float, default=0.3)
+    p_bench.add_argument("--apps", nargs="*", metavar="APP",
+                         help="restrict the point set (and figure2 timing) "
+                              "to these workloads")
+    p_bench.add_argument("--out", metavar="FILE", default=None,
+                         help=f"output path (default {BENCH_SIM_SPEED})")
+    p_bench.add_argument("--no-figure2", action="store_true",
+                         help="skip the end-to-end figure2 wall-clock timing")
+    p_bench.add_argument("--json", action="store_true",
+                         help="emit the bench payload as JSON on stdout")
+    add_registry_flag(p_bench)
 
     p_score = sub.add_parser(
         "scorecard",
@@ -748,6 +888,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit the scorecard payload as JSON on stdout")
     p_score.add_argument("--out", metavar="FILE", default=None,
                          help="also write the scorecard JSON to FILE")
+    add_parallel_flags(p_score)
     add_registry_flag(p_score)
 
     p_diff = sub.add_parser(
@@ -788,7 +929,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_registry_flag(p_rep)
 
     p_lint = sub.add_parser(
-        "lint", help="simulator-aware static analysis (simlint SL001-SL006)"
+        "lint", help="simulator-aware static analysis (simlint SL001-SL007)"
     )
     from repro.analysis.cli import add_lint_arguments
 
@@ -806,6 +947,7 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "validate": _cmd_validate,
     "sweep": _cmd_sweep,
+    "bench": _cmd_bench,
     "scorecard": _cmd_scorecard,
     "diff": _cmd_diff,
     "report": _cmd_report,

@@ -16,12 +16,13 @@ Results are plain dictionaries; the ablation benchmarks format them.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.config import APRESConfig, GPUConfig
 from repro.core.laws import LAWSScheduler
 from repro.core.sap import SAPPrefetcher
 from repro.experiments.configs import experiment_gpu_config
+from repro.experiments.parallel import parallel_map, prewarm, resolve_jobs
 from repro.experiments.runner import run
 from repro.sm.simulator import simulate
 from repro.workloads.suite import workload
@@ -30,6 +31,16 @@ from repro.workloads.synthetic import build_kernel
 #: Apps whose behaviour the ablations probe: one thrashing, one strided
 #: with reuse, one broadcast-heavy, one compute streaming.
 DEFAULT_APPS = ("KM", "LUD", "PA", "CS")
+
+#: One APRES-variant evaluation: args for :func:`_simulate_apres`.
+_VariantTask = tuple[str, float, Optional[GPUConfig], Optional[APRESConfig], int, bool]
+
+
+def _variant_cycles(task: _VariantTask) -> float:
+    """Module-level pool worker: cycles for one APRES variant."""
+    abbr, scale, gpu_config, apres_config, self_degree, group_prefetch = task
+    return _simulate_apres(
+        abbr, scale, gpu_config, apres_config, self_degree, group_prefetch)
 
 
 def _simulate_apres(
@@ -54,14 +65,24 @@ def _simulate_apres(
     return simulate(kernel, cfg, engine).cycles
 
 
-def sap_components(apps: Sequence[str] = DEFAULT_APPS, scale: float = 0.5
-                   ) -> dict[str, dict[str, float]]:
-    """Speedup of each APRES component stack over baseline."""
+def sap_components(apps: Sequence[str] = DEFAULT_APPS, scale: float = 0.5,
+                   jobs: Optional[int] = None) -> dict[str, dict[str, float]]:
+    """Speedup of each APRES component stack over baseline.
+
+    ``jobs`` (default: ``$REPRO_JOBS``, else 1) fans the simulations over
+    a process pool; every ablation here takes it and stays bit-identical
+    because each point is an independent deterministic simulation.
+    """
+    jobs = resolve_jobs(jobs)
+    prewarm([(abbr, config, scale, None)
+             for abbr in apps for config in ("base", "laws", "apres")], jobs)
+    group_cycles = parallel_map(
+        _variant_cycles, [(abbr, scale, None, None, 0, True) for abbr in apps],
+        jobs)
     out: dict[str, dict[str, float]] = {}
-    for abbr in apps:
+    for abbr, group_only in zip(apps, group_cycles):
         base = run(abbr, "base", scale).cycles
         laws_only = run(abbr, "laws", scale).cycles
-        group_only = _simulate_apres(abbr, scale, self_degree=0)
         full = run(abbr, "apres", scale).cycles
         out[abbr] = {
             "laws": base / laws_only,
@@ -71,70 +92,85 @@ def sap_components(apps: Sequence[str] = DEFAULT_APPS, scale: float = 0.5
     return out
 
 
+def _apres_variant_sweep(
+    axis: Sequence[int],
+    make_task: "Callable[[int, str], _VariantTask]",
+    apps: Sequence[str],
+    scale: float,
+    jobs: Optional[int],
+) -> dict[int, dict[str, float]]:
+    """Shared shape of the PT/WGT/self-degree sweeps: axis x apps grid."""
+    jobs = resolve_jobs(jobs)
+    prewarm([(abbr, "base", scale, None) for abbr in apps], jobs)
+    tasks = [make_task(value, abbr) for value in axis for abbr in apps]
+    cycles = iter(parallel_map(_variant_cycles, tasks, jobs))
+    return {
+        value: {abbr: run(abbr, "base", scale).cycles / next(cycles)
+                for abbr in apps}
+        for value in axis
+    }
+
+
 def pt_entry_sweep(entries: Sequence[int] = (1, 2, 5, 10, 20),
-                   apps: Sequence[str] = DEFAULT_APPS, scale: float = 0.5
-                   ) -> dict[int, dict[str, float]]:
+                   apps: Sequence[str] = DEFAULT_APPS, scale: float = 0.5,
+                   jobs: Optional[int] = None) -> dict[int, dict[str, float]]:
     """Speedup over baseline as the Prefetch Table grows."""
-    out: dict[int, dict[str, float]] = {}
-    for n in entries:
-        cfg = APRESConfig(pt_entries=n)
-        out[n] = {
-            abbr: run(abbr, "base", scale).cycles
-            / _simulate_apres(abbr, scale, apres_config=cfg)
-            for abbr in apps
-        }
-    return out
+    return _apres_variant_sweep(
+        entries,
+        lambda n, abbr: (abbr, scale, None, APRESConfig(pt_entries=n), 2, True),
+        apps, scale, jobs)
 
 
 def wgt_entry_sweep(entries: Sequence[int] = (1, 3, 8),
-                    apps: Sequence[str] = DEFAULT_APPS, scale: float = 0.5
-                    ) -> dict[int, dict[str, float]]:
+                    apps: Sequence[str] = DEFAULT_APPS, scale: float = 0.5,
+                    jobs: Optional[int] = None) -> dict[int, dict[str, float]]:
     """Speedup over baseline as the Warp Group Table grows."""
-    out: dict[int, dict[str, float]] = {}
-    for n in entries:
-        cfg = APRESConfig(wgt_entries=n)
-        out[n] = {
-            abbr: run(abbr, "base", scale).cycles
-            / _simulate_apres(abbr, scale, apres_config=cfg)
-            for abbr in apps
-        }
-    return out
+    return _apres_variant_sweep(
+        entries,
+        lambda n, abbr: (abbr, scale, None, APRESConfig(wgt_entries=n), 2, True),
+        apps, scale, jobs)
 
 
 def self_degree_sweep(degrees: Sequence[int] = (0, 1, 2, 4),
-                      apps: Sequence[str] = DEFAULT_APPS, scale: float = 0.5
-                      ) -> dict[int, dict[str, float]]:
+                      apps: Sequence[str] = DEFAULT_APPS, scale: float = 0.5,
+                      jobs: Optional[int] = None) -> dict[int, dict[str, float]]:
     """Speedup over baseline as self-prefetch reaches further ahead."""
-    out: dict[int, dict[str, float]] = {}
-    for d in degrees:
-        out[d] = {
-            abbr: run(abbr, "base", scale).cycles
-            / _simulate_apres(abbr, scale, self_degree=d)
-            for abbr in apps
-        }
-    return out
+    return _apres_variant_sweep(
+        degrees,
+        lambda d, abbr: (abbr, scale, None, None, d, True),
+        apps, scale, jobs)
 
 
 def l1_size_sweep(sizes_kb: Sequence[int] = (16, 32, 64, 128),
-                  apps: Sequence[str] = DEFAULT_APPS, scale: float = 0.5
-                  ) -> dict[int, dict[str, float]]:
+                  apps: Sequence[str] = DEFAULT_APPS, scale: float = 0.5,
+                  jobs: Optional[int] = None) -> dict[int, dict[str, float]]:
     """Baseline IPC sensitivity to L1 capacity."""
-    out: dict[int, dict[str, float]] = {}
-    for kb in sizes_kb:
-        cfg = experiment_gpu_config().with_l1_size(kb * 1024)
-        out[kb] = {abbr: run(abbr, "base", scale, cfg).ipc for abbr in apps}
-    return out
+    jobs = resolve_jobs(jobs)
+    configs = {kb: experiment_gpu_config().with_l1_size(kb * 1024)
+               for kb in sizes_kb}
+    prewarm([(abbr, "base", scale, cfg)
+             for cfg in configs.values() for abbr in apps], jobs)
+    return {
+        kb: {abbr: run(abbr, "base", scale, cfg).ipc for abbr in apps}
+        for kb, cfg in configs.items()
+    }
 
 
 def bandwidth_sweep(service_cycles: Sequence[int] = (2, 4, 8),
-                    apps: Sequence[str] = DEFAULT_APPS, scale: float = 0.5
-                    ) -> dict[int, dict[str, float]]:
+                    apps: Sequence[str] = DEFAULT_APPS, scale: float = 0.5,
+                    jobs: Optional[int] = None) -> dict[int, dict[str, float]]:
     """Baseline IPC sensitivity to DRAM service rate (full-machine cycles)."""
-    out: dict[int, dict[str, float]] = {}
-    for sc in service_cycles:
-        base = GPUConfig()
-        cfg = dataclasses.replace(
+    jobs = resolve_jobs(jobs)
+    base = GPUConfig()
+    configs = {
+        sc: dataclasses.replace(
             base, dram=dataclasses.replace(base.dram, service_cycles=sc)
         ).scaled(2)
-        out[sc] = {abbr: run(abbr, "base", scale, cfg).ipc for abbr in apps}
-    return out
+        for sc in service_cycles
+    }
+    prewarm([(abbr, "base", scale, cfg)
+             for cfg in configs.values() for abbr in apps], jobs)
+    return {
+        sc: {abbr: run(abbr, "base", scale, cfg).ipc for abbr in apps}
+        for sc, cfg in configs.items()
+    }

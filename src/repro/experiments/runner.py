@@ -76,6 +76,46 @@ def clear_cache() -> None:
     _CACHE.clear()
 
 
+def cache_key(
+    workload_abbr: str,
+    config_name: str,
+    scale: float,
+    gpu_config: Optional[GPUConfig] = None,
+) -> tuple:
+    """The memoisation key :func:`run` would use for these arguments."""
+    return (workload_abbr, config_name, scale, gpu_config or experiment_gpu_config())
+
+
+def is_cached(
+    workload_abbr: str,
+    config_name: str,
+    scale: float,
+    gpu_config: Optional[GPUConfig] = None,
+) -> bool:
+    """True when :func:`run` with these arguments would be a cache hit."""
+    return cache_key(workload_abbr, config_name, scale, gpu_config) in _CACHE
+
+
+def seed_cache(
+    workload_abbr: str,
+    config_name: str,
+    scale: float,
+    gpu_config: Optional[GPUConfig],
+    result: RunResult,
+) -> None:
+    """Install a result computed elsewhere (e.g. a pool worker) into the cache.
+
+    The parallel prewarmer (:mod:`repro.experiments.parallel`) simulates
+    points in worker processes and seeds them here, so the figure/scorecard
+    code paths — which only ever call :func:`run` — pick them up without
+    knowing parallelism exists. Simulation is deterministic, so a seeded
+    result is indistinguishable from one computed in-process.
+    """
+    _CACHE[cache_key(workload_abbr, config_name, scale, gpu_config)] = result
+    while len(_CACHE) > _cache_max:
+        _CACHE.popitem(last=False)
+
+
 def run(
     workload_abbr: str,
     config_name: str,

@@ -130,12 +130,16 @@ class SweepSummary:
     simulated: int = 0
     skipped: int = 0
     failed: int = 0
+    #: Points replayed from the registry instead of simulated (memoization).
+    cache_hits: int = 0
+    #: Points that consulted the registry cache and missed.
+    cache_misses: int = 0
     #: Keys that ended in a failure record this invocation.
     failed_keys: list[str] = field(default_factory=list)
 
     @property
     def completed(self) -> int:
-        return self.simulated + self.skipped - self.failed
+        return self.simulated + self.skipped + self.cache_hits - self.failed
 
 
 def _base_provenance(gpu_config: Optional[GPUConfig]) -> dict:
@@ -234,6 +238,33 @@ def _wall_clock_limit(seconds: Optional[float], key: str):
         signal.signal(signal.SIGALRM, previous)
 
 
+def _cached_record(registry: Any, point: SweepPoint, provenance: dict
+                   ) -> Optional[dict]:
+    """Replayable record for ``point`` from the registry, if one exists.
+
+    The point's identity (workload, config, scheduler, prefetcher, seed,
+    scale, GPUConfig hash) is content-hashed exactly as ingestion hashes
+    it; on a hit the archived sweep record is returned verbatim, so a
+    cache-warm sweep appends byte-identical JSONL lines. Only complete
+    ``status == "ok"`` records qualify — failures are never memoised.
+    """
+    from repro.registry.records import sweep_point_run_id
+
+    run_id = sweep_point_run_id(
+        point.workload, point.config_name, point.scale, provenance)
+    try:
+        hits = registry.history(run_id, limit=1)
+    except Exception:
+        return None  # an unreadable registry must not fail the sweep
+    if not hits:
+        return None
+    data = hits[0].get("data") or {}
+    record = data.get("sweep_record")
+    if not isinstance(record, dict) or record.get("status") != "ok":
+        return None
+    return record
+
+
 def run_sweep(
     points: Iterable[SweepPoint],
     out_path: str,
@@ -250,15 +281,18 @@ def run_sweep(
     trace_dir: Optional[str] = None,
     telemetry_window: int = 5_000,
     registry: Optional[Any] = None,
+    jobs: int = 1,
+    use_cache: bool = True,
+    heartbeat_writer: Optional[Any] = None,
 ) -> SweepSummary:
     """Run every point, persisting each result to ``out_path`` as it lands.
 
     ``resume_from`` names an earlier (possibly interrupted) store whose
     completed points are skipped; pointing it at ``out_path`` itself makes
     the sweep restartable in place. ``max_points`` bounds how many points
-    are *simulated* this invocation (skips are free) — useful for smoke
-    tests and incremental fills. ``sleep`` is injectable so tests can
-    verify backoff without waiting.
+    are *processed* (simulated or cache-replayed) this invocation (skips
+    are free) — useful for smoke tests and incremental fills. ``sleep`` is
+    injectable so tests can verify backoff without waiting.
 
     With ``telemetry`` every simulated point gets a stall-attribution
     breakdown (reconciled exactly against its counters) folded into its
@@ -269,7 +303,18 @@ def run_sweep(
     ``registry`` optionally names a
     :class:`~repro.registry.store.RegistryStore`; every successful point
     is then also ingested as a registry run record (identity-hashed, with
-    the same provenance stamp its JSONL record carries).
+    the same provenance stamp its JSONL record carries). With a registry
+    attached and ``use_cache`` (the default), points whose ``run_id`` is
+    already archived are replayed verbatim instead of re-simulated —
+    ``--no-cache`` at the CLI forces recomputation.
+
+    ``jobs > 1`` shards the points across a process pool
+    (:mod:`repro.experiments.parallel`); completed records stream back and
+    are appended strictly in point order, so the JSONL output is
+    byte-identical to a serial sweep. All persistence (store, registry)
+    stays in the parent. ``heartbeat_writer`` (a
+    :class:`~repro.experiments.parallel.ProgressWriter`) merges per-worker
+    telemetry heartbeats into one stream when telemetry is enabled.
     """
     points = list(points)
     base_prov = _base_provenance(gpu_config)
@@ -290,12 +335,61 @@ def run_sweep(
                 store.append(record)
 
     summary = SweepSummary(out_path=out_path, total_points=len(points))
+    caching = use_cache and registry is not None
+
+    # Partition into skips and pending work up front; both execution modes
+    # then share one in-order flush path.
+    pending: list[SweepPoint] = []
     for point in points:
         if point.key in done:
             summary.skipped += 1
-            continue
-        if max_points is not None and summary.simulated >= max_points:
-            break
+        else:
+            pending.append(point)
+    if max_points is not None:
+        pending = pending[:max_points]
+
+    provenances = [_point_provenance(point, base_prov) for point in pending]
+
+    def flush(point: SweepPoint, record: dict, cached: bool) -> None:
+        """Persist one completed point and update counters (point order)."""
+        store.append(record)
+        if cached:
+            summary.cache_hits += 1
+        else:
+            if caching:
+                summary.cache_misses += 1
+            summary.simulated += 1
+            if registry is not None:
+                from repro.registry.records import sweep_point_record
+
+                reg_record = sweep_point_record(record)
+                if reg_record is not None:
+                    registry.put(reg_record)
+        done[point.key] = record
+        if record["status"] != "ok":
+            summary.failed += 1
+            summary.failed_keys.append(point.key)
+        if progress is not None:
+            progress(point, record)
+
+    if jobs > 1 and pending:
+        _run_pending_parallel(
+            pending, provenances, flush,
+            gpu_config=gpu_config, retries=retries, backoff_s=backoff_s,
+            point_timeout_s=point_timeout_s,
+            telemetry=telemetry or trace_dir is not None,
+            trace_dir=trace_dir, telemetry_window=telemetry_window,
+            registry=registry if caching else None, jobs=jobs,
+            heartbeat_writer=heartbeat_writer,
+        )
+        return summary
+
+    for point, provenance in zip(pending, provenances):
+        if caching:
+            cached = _cached_record(registry, point, provenance)
+            if cached is not None:
+                flush(point, cached, cached=True)
+                continue
         record = _run_point(
             point,
             gpu_config=gpu_config,
@@ -307,22 +401,96 @@ def run_sweep(
             trace_dir=trace_dir,
             telemetry_window=telemetry_window,
         )
-        record["provenance"] = _point_provenance(point, base_prov)
-        store.append(record)
-        if registry is not None:
-            from repro.registry.records import sweep_point_record
-
-            reg_record = sweep_point_record(record)
-            if reg_record is not None:
-                registry.put(reg_record)
-        done[point.key] = record
-        summary.simulated += 1
-        if record["status"] != "ok":
-            summary.failed += 1
-            summary.failed_keys.append(point.key)
-        if progress is not None:
-            progress(point, record)
+        record["provenance"] = provenance
+        flush(point, record, cached=False)
     return summary
+
+
+def _run_pending_parallel(
+    pending: list[SweepPoint],
+    provenances: list[dict],
+    flush: Callable[[SweepPoint, dict, bool], None],
+    *,
+    gpu_config: Optional[GPUConfig],
+    retries: int,
+    backoff_s: float,
+    point_timeout_s: Optional[float],
+    telemetry: bool,
+    trace_dir: Optional[str],
+    telemetry_window: int,
+    registry: Optional[Any],
+    jobs: int,
+    heartbeat_writer: Optional[Any],
+) -> None:
+    """Fan pending points across a pool, flushing strictly in point order.
+
+    Cache lookups happen in the parent (workers never open the registry);
+    completed records from workers are held back in a buffer until every
+    earlier point has flushed, which is what keeps the JSONL store
+    byte-identical to a serial sweep even though execution completes out
+    of order.
+    """
+    from repro.experiments.parallel import (
+        HeartbeatRelay,
+        PointTask,
+        ProgressWriter,
+        run_point_tasks,
+    )
+
+    results: dict[int, tuple[dict, bool]] = {}
+    tasks: list[PointTask] = []
+    for index, (point, provenance) in enumerate(zip(pending, provenances)):
+        cached = (
+            _cached_record(registry, point, provenance)
+            if registry is not None else None
+        )
+        if cached is not None:
+            results[index] = (cached, True)
+            continue
+        tasks.append(PointTask(
+            index=index, point=point, gpu_config=gpu_config,
+            retries=retries, backoff_s=backoff_s,
+            point_timeout_s=point_timeout_s, telemetry=telemetry,
+            trace_dir=trace_dir, telemetry_window=telemetry_window,
+        ))
+
+    relay = None
+    if telemetry and tasks:
+        writer = heartbeat_writer or ProgressWriter()
+        relay = HeartbeatRelay(writer)
+
+    next_index = 0
+
+    def flush_ready() -> None:
+        nonlocal next_index
+        while next_index < len(pending) and next_index in results:
+            record, cached = results.pop(next_index)
+            flush(pending[next_index], record, cached)
+            next_index += 1
+
+    try:
+        for index, payload in run_point_tasks(
+            tasks, jobs, heartbeat_queue=relay.queue if relay else None
+        ):
+            if isinstance(payload, Exception):
+                record = _failure_record(
+                    pending[index],
+                    SimulationError(
+                        f"worker died running {pending[index].key}: {payload!r}",
+                        details={"kind": "worker-crash",
+                                 "error": type(payload).__name__},
+                    ),
+                    attempts=1,
+                )
+            else:
+                record = payload
+            record["provenance"] = provenances[index]
+            results[index] = (record, False)
+            flush_ready()
+        flush_ready()
+    finally:
+        if relay is not None:
+            relay.close()
 
 
 def _run_point(
@@ -336,9 +504,15 @@ def _run_point(
     telemetry: bool = False,
     trace_dir: Optional[str] = None,
     telemetry_window: int = 5_000,
+    heartbeat_sink: Optional[Any] = None,
 ) -> dict:
     """Simulate one point with timeout + bounded retry; never raises
-    :class:`ReproError` — failures become records."""
+    :class:`ReproError` — failures become records.
+
+    ``heartbeat_sink`` (an interval sink) is attached to the telemetry hub
+    when one is built; pool workers use it to stream heartbeats back to
+    the parent process.
+    """
     attempts = 0
     while True:
         attempts += 1
@@ -351,6 +525,8 @@ def _run_point(
                 hub = TelemetryHub(
                     window=telemetry_window, trace=trace_dir is not None
                 )
+                if heartbeat_sink is not None:
+                    hub.add_interval_sink(heartbeat_sink)
             with _wall_clock_limit(point_timeout_s, point.key):
                 result = run(
                     point.workload,

@@ -46,6 +46,10 @@ class AccessOutcome(enum.Enum):
 class L1Cache:
     """One SM's L1 data cache."""
 
+    __slots__ = ("_config", "stats", "_tags", "_mshrs", "_forward_miss",
+                 "_hit_latency", "_seen_lines", "_last_access_hit",
+                 "eviction_listener", "stats_latency", "telemetry")
+
     def __init__(
         self,
         config: CacheConfig,
@@ -57,6 +61,8 @@ class L1Cache:
         self._tags = TagArray(config)
         self._mshrs = MSHRFile(config.num_mshrs, config.mshr_merge_limit)
         self._forward_miss = forward_miss
+        # Hoisted: read on every hit in the demand path.
+        self._hit_latency = config.hit_latency
         #: Every line address ever cached here, for cold-miss classification.
         self._seen_lines: set[int] = set()
         self._last_access_hit: Optional[bool] = None
@@ -111,7 +117,7 @@ class L1Cache:
             if emit:
                 tel.emit(L1AccessEvent(
                     cycle=now, sm=tel.sm_id, line_addr=line_addr, outcome="hit"))
-            return AccessOutcome.HIT, now + self._config.hit_latency
+            return AccessOutcome.HIT, now + self._hit_latency
 
         entry = self._mshrs.lookup(line_addr)
         if entry is not None:

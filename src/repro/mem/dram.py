@@ -16,6 +16,9 @@ from repro.telemetry.events import DRAMRequestEvent
 class DRAMModel:
     """Latency + per-partition service-rate model of device memory."""
 
+    __slots__ = ("_config", "_line_size", "_stats", "_partition_free_at",
+                 "telemetry")
+
     def __init__(self, config: DRAMConfig, line_size: int, stats: MemoryStats):
         self._config = config
         self._line_size = line_size

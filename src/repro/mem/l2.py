@@ -22,6 +22,9 @@ from repro.telemetry.events import L2AccessEvent
 class L2Cache:
     """Single shared L2 in front of DRAM."""
 
+    __slots__ = ("_config", "_dram", "_stats", "_tags", "_pending",
+                 "_pending_heap", "_bank_free_at", "telemetry")
+
     def __init__(self, config: CacheConfig, dram: DRAMModel, stats: MemoryStats):
         self._config = config
         self._dram = dram

@@ -14,7 +14,7 @@ from typing import Callable, Optional
 FillCallback = Callable[[int], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class MSHREntry:
     """One in-flight line fill."""
 
@@ -32,6 +32,9 @@ class MSHREntry:
 
 class MSHRFile:
     """Fixed-capacity MSHR table keyed by line address."""
+
+    __slots__ = ("_capacity", "_merge_limit", "_entries",
+                 "allocated_total", "released_total")
 
     def __init__(self, num_entries: int, merge_limit: int):
         if num_entries < 1:

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LoadAccess:
     """Summary of one executed (dynamic) load, as seen by schedulers/prefetchers.
 

@@ -26,6 +26,8 @@ from repro.stats.counters import SimStats
 class EventQueue:
     """Min-heap of ``(cycle, seq, callback)`` with FIFO tie-breaking."""
 
+    __slots__ = ("_heap", "_seq", "processed")
+
     def __init__(self) -> None:
         self._heap: list[tuple[int, int, Callable[[int], None]]] = []
         self._seq = itertools.count()
@@ -87,6 +89,8 @@ class _L1MissForwarder:
 
 class MemorySubsystem:
     """L1s (one per SM) + shared L2 + DRAM + the global event queue."""
+
+    __slots__ = ("_config", "_stats", "events", "dram", "l2", "l1s")
 
     def __init__(self, config: GPUConfig, stats: SimStats):
         self._config = config

@@ -9,7 +9,7 @@ from typing import Iterator, Optional
 from repro.config import CacheConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class LineMeta:
     """Per-line bookkeeping attached to each resident tag."""
 
@@ -29,6 +29,9 @@ class TagArray:
     recency (last item = most recently used).
     """
 
+    __slots__ = ("_config", "_num_sets", "_assoc", "_line", "_sets",
+                 "_pow2", "_line_shift", "_set_mask")
+
     def __init__(self, config: CacheConfig):
         self._config = config
         self._num_sets = config.num_sets
@@ -37,8 +40,16 @@ class TagArray:
         self._sets: list[OrderedDict[int, LineMeta]] = [
             OrderedDict() for _ in range(self._num_sets)
         ]
+        # Power-of-two geometry (every real config) lets the per-access set
+        # index be a shift+mask instead of a divmod pair.
+        line, sets = self._line, self._num_sets
+        self._pow2 = line & (line - 1) == 0 and sets & (sets - 1) == 0
+        self._line_shift = line.bit_length() - 1
+        self._set_mask = sets - 1
 
     def set_index(self, line_addr: int) -> int:
+        if self._pow2:
+            return (line_addr >> self._line_shift) & self._set_mask
         return (line_addr // self._line) % self._num_sets
 
     def probe(self, line_addr: int, update_lru: bool = True) -> Optional[LineMeta]:

@@ -14,6 +14,8 @@ from collections import OrderedDict
 class VictimTagArray:
     """Tag-only set-associative store with LRU replacement."""
 
+    __slots__ = ("_num_sets", "_assoc", "_line", "_sets")
+
     def __init__(self, num_sets: int = 8, associativity: int = 8, line_size: int = 128):
         self._num_sets = num_sets
         self._assoc = associativity

@@ -210,24 +210,57 @@ def run_record(result: Any, scale: float, gpu_config: Any, *,
     )
 
 
+def sweep_point_identity(
+    workload: str,
+    config: str,
+    scale: float,
+    provenance: Mapping[str, Any],
+) -> dict:
+    """Identity dict of one sweep point (shared by ingest and memo lookup).
+
+    ``provenance`` is the per-point provenance stamp the sweep driver
+    computes (scheduler, prefetcher, seed, config_hash); building the
+    identity from it on both the write side (:func:`sweep_point_record`)
+    and the read side (:func:`sweep_point_run_id`) guarantees a cache
+    lookup hashes to exactly the id an earlier ingest stored under.
+    """
+    return {
+        "workload": workload,
+        "config": config,
+        "scheduler": provenance.get("scheduler", config),
+        "prefetcher": provenance.get("prefetcher", "none"),
+        "seed": provenance.get("seed", 0),
+        "scale": scale,
+        "gpu_config": provenance.get("config_hash", ""),
+    }
+
+
+def sweep_point_run_id(
+    workload: str,
+    config: str,
+    scale: float,
+    provenance: Mapping[str, Any],
+) -> str:
+    """The ``run_id`` a completed sweep point would be ingested under."""
+    identity = {"kind": "run",
+                **sweep_point_identity(workload, config, scale, provenance)}
+    return content_hash(identity)
+
+
 def sweep_point_record(record: Mapping[str, Any]) -> Optional[RunRecord]:
     """Registry record built from one completed sweep JSONL record.
 
     Returns None for failure records — a failed point has no metrics worth
-    indexing (its diagnosis lives in the sweep store).
+    indexing (its diagnosis lives in the sweep store). The full JSONL
+    record rides along in ``data["sweep_record"]`` so a later sweep can
+    replay the point verbatim from the registry (run memoization) instead
+    of re-simulating it.
     """
     if record.get("status") != "ok":
         return None
     provenance = record.get("provenance") or {}
-    identity = {
-        "workload": record["workload"],
-        "config": record["config"],
-        "scheduler": provenance.get("scheduler", record["config"]),
-        "prefetcher": provenance.get("prefetcher", "none"),
-        "seed": provenance.get("seed", 0),
-        "scale": record["scale"],
-        "gpu_config": provenance.get("config_hash", ""),
-    }
+    identity = sweep_point_identity(
+        record["workload"], record["config"], record["scale"], provenance)
     metrics = flatten_metrics(record.get("stats") or {})
     for key in ("ipc", "energy_pj"):
         if isinstance(record.get(key), (int, float)):
@@ -238,7 +271,8 @@ def sweep_point_record(record: Mapping[str, Any]) -> Optional[RunRecord]:
         identity,
         metrics,
         data={"sweep_key": record.get("key"),
-              "engine_events": record.get("engine_events")},
+              "engine_events": record.get("engine_events"),
+              "sweep_record": dict(record)},
         stalls=record.get("stalls"),
     )
 
@@ -257,6 +291,27 @@ def figure_record(name: str, payload: Any, scale: float,
     return _record(
         "figure", name, identity, flatten_metrics(jsonable),
         data={"figure": name, "payload": jsonable},
+    )
+
+
+def bench_record(payload: Mapping[str, Any]) -> RunRecord:
+    """Registry record for one ``repro bench`` speed measurement.
+
+    Speed is a property of the host as much as of the code, so the
+    identity includes nothing host-specific — every bench run of the same
+    point set at the same scale lands under one ``run_id`` and the history
+    under that id is the perf trajectory.
+    """
+    identity = {
+        "bench": "sim_speed",
+        "scale": payload.get("scale"),
+        "points": [[p.get("workload"), p.get("config")]
+                   for p in payload.get("points") or []],
+    }
+    return _record(
+        "bench", "sim_speed", identity,
+        flatten_metrics(payload.get("totals") or {}),
+        data=dict(payload),
     )
 
 

@@ -81,6 +81,26 @@ class _PendingLoad:
 class SMCore:
     """Cycle-level model of one streaming multiprocessor."""
 
+    __slots__ = (
+        "sm_id",
+        "_config",
+        "_scheduler",
+        "_prefetcher",
+        "_l1",
+        "_subsystem",
+        "_stats",
+        "warps",
+        "_replay",
+        "_is_mem_at",
+        "_issue_latency",
+        "_line_size",
+        "_finished_warps",
+        "mem_requests_issued",
+        "mem_requests_completed",
+        "load_observers",
+        "_telemetry",
+    )
+
     #: MSHR occupancy above which prefetches are dropped.
     PREFETCH_MSHR_LIMIT = 0.75
     #: Loads that can wait on MSHR reservation before memory issue blocks.
@@ -113,6 +133,12 @@ class SMCore:
         ]
         self._replay: deque[_PendingLoad] = deque()
         self._is_mem_at = tuple(i.is_mem for i in kernel.body)
+        # Hoisted config scalars: the cycle loop reads these every issue and
+        # attribute chains through frozen dataclasses are comparatively slow.
+        self._issue_latency = config.issue_latency
+        self._line_size = config.l1.line_size
+        #: Warps whose ``finished`` flag is set, so ``done`` is O(1).
+        self._finished_warps = 0
         #: Line requests handed to the L1 / completed back, for the
         #: integrity layer's conservation check against warp.outstanding.
         self.mem_requests_issued = 0
@@ -139,7 +165,7 @@ class SMCore:
 
     @property
     def done(self) -> bool:
-        return all(w.finished for w in self.warps) and not self._replay
+        return self._finished_warps == len(self.warps) and not self._replay
 
     def next_wake_hint(self, now: int) -> Optional[int]:
         """Earliest future cycle a warp becomes ready without an event.
@@ -161,28 +187,32 @@ class SMCore:
 
     def cycle(self, now: int) -> bool:
         """Advance one cycle; returns True if an instruction was issued."""
-        self._process_replay(now)
-        lsu_blocked = len(self._replay) >= self.LSU_QUEUE_DEPTH
+        replay = self._replay
+        if replay:
+            self._process_replay(now)
+        lsu_blocked = len(replay) >= self.LSU_QUEUE_DEPTH
         tel = self._telemetry
+        stats = self._stats
         # Snapshot the structural-stall counter so the idle branch can tell
         # MSHR gating apart without any work inside the candidate loop.
-        gate_base = self._stats.lsu_structural_stalls if tel is not None else 0
+        gate_base = stats.lsu_structural_stalls if tel is not None else 0
 
         candidates = []
+        append = candidates.append
         is_mem_at = self._is_mem_at
         for w in self.warps:
             if w.finished or w.outstanding or w.ready_at > now:
                 continue
             is_mem = is_mem_at[w.pc_index]
             if is_mem and lsu_blocked:
-                self._stats.lsu_structural_stalls += 1
+                stats.lsu_structural_stalls += 1
                 continue
-            candidates.append(IssueCandidate(w.warp_id, is_mem))
+            append(IssueCandidate(w.warp_id, is_mem))
         if not candidates:
-            self._stats.idle_cycles += 1
+            stats.idle_cycles += 1
             if tel is not None:
                 tel.on_idle(
-                    self, now, self._stats.lsu_structural_stalls - gate_base
+                    self, now, stats.lsu_structural_stalls - gate_base
                 )
             return False
 
@@ -201,13 +231,14 @@ class SMCore:
     # ------------------------------------------------------------------
 
     def _issue(self, warp: WarpContext, instr: Instr, now: int) -> None:
-        self._stats.instructions += 1
+        stats = self._stats
+        stats.instructions += 1
         tel = self._telemetry
         if tel is not None:
             tel.on_issue()
             if tel.events:
                 if instr.op is Op.ALU:
-                    dur = self._config.issue_latency
+                    dur = self._issue_latency
                 elif instr.op is Op.STORE:
                     dur = 1
                 else:
@@ -225,17 +256,17 @@ class SMCore:
         self._scheduler.notify_issue(warp.warp_id, instr.is_mem, now)
         if instr.op is Op.ALU:
             # ALU chains are dependent: the next same-warp issue waits.
-            self._stats.alu_instructions += 1
-            warp.ready_at = now + self._config.issue_latency
+            stats.alu_instructions += 1
+            warp.ready_at = now + self._issue_latency
         elif instr.op is Op.STORE:
             # Stores retire into the write path without blocking the warp.
-            self._stats.store_instructions += 1
+            stats.store_instructions += 1
             addrs = instr.addr_gen.addresses(warp.global_id, warp.iteration)
-            lines = coalesce(addrs, self._config.l1.line_size)
+            lines = coalesce(addrs, self._line_size)
             self._subsystem.store(self.sm_id, lines, now)
             warp.ready_at = now + 1
         else:
-            self._stats.load_instructions += 1
+            stats.load_instructions += 1
             self._issue_load(warp, instr, now)
         self._finish_instruction(warp)
 
@@ -243,7 +274,7 @@ class SMCore:
         addr_gen = instr.addr_gen
         assert addr_gen is not None
         addrs = addr_gen.addresses(warp.global_id, warp.iteration)
-        lines = coalesce(addrs, self._config.l1.line_size)
+        lines = coalesce(addrs, self._line_size)
         # Stall on use: the warp resumes when its last request returns.
         warp.outstanding += len(lines)
         self.mem_requests_issued += len(lines)
@@ -341,7 +372,7 @@ class SMCore:
             )
         self._scheduler.notify_load_result(access)
         candidates = self._prefetcher.observe_load(access)
-        line_size = self._config.l1.line_size
+        line_size = self._line_size
         targets = []
         for cand in candidates:
             line = cand.addr - (cand.addr % line_size)
@@ -401,6 +432,7 @@ class SMCore:
     def _finish_instruction(self, warp: WarpContext) -> None:
         warp.advance()
         if warp.finished:
+            self._finished_warps += 1
             self._scheduler.notify_warp_finished(warp.warp_id)
 
     # ------------------------------------------------------------------
@@ -425,6 +457,11 @@ class SMCore:
             violate(
                 f"{len(self.warps)} warp contexts but "
                 f"{self._config.max_warps_per_sm} were launched")
+        finished = sum(1 for w in self.warps if w.finished)
+        if finished != self._finished_warps:
+            violate(
+                f"finished-warp counter {self._finished_warps} disagrees with "
+                f"{finished} warps whose finished flag is set")
         outstanding = 0
         for w in self.warps:
             if w.outstanding < 0:

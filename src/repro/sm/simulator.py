@@ -37,7 +37,7 @@ from repro.telemetry.hub import TelemetryHub
 EngineFactory = Callable[[], tuple[WarpScheduler, Prefetcher]]
 
 
-@dataclass
+@dataclass(slots=True)
 class SimulationResult:
     """Outcome of one simulation run."""
 
@@ -58,6 +58,10 @@ class SimulationResult:
 
 class GPUSimulator:
     """Runs one kernel across ``config.num_sms`` SMs."""
+
+    __slots__ = ("_kernel", "_config", "stats", "_subsystem", "_sms",
+                 "_engines", "_now", "_prev_cycle", "_finished",
+                 "_integrity", "watchdog", "telemetry")
 
     def __init__(
         self,

@@ -2,6 +2,8 @@
 
 
 class FillQueue:
+    __slots__ = ("callbacks", "on_fill")
+
     def __init__(self):
         self.callbacks = []
         self.on_fill = None

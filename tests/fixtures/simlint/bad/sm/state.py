@@ -1,0 +1,24 @@
+"""SL007 known-bad (hot path): slot-less and function-local classes."""
+
+from dataclasses import dataclass
+
+
+class WarpSlot:  # finding: no __slots__
+    def __init__(self, warp_id):
+        self.warp_id = warp_id
+
+
+@dataclass
+class IssueRecord:  # finding: dataclass without slots=True
+    warp_id: int
+    cycle: int
+
+
+def make_tracker(limit):
+    class Tracker:  # finding: function-local class cannot pickle
+        __slots__ = ("limit",)
+
+        def __init__(self):
+            self.limit = limit
+
+    return Tracker()

@@ -14,6 +14,8 @@ class _FillDone:
 
 
 class FillQueue:
+    __slots__ = ("callbacks", "on_fill")
+
     def __init__(self):
         self.callbacks = []
         self.on_fill = None

@@ -2,6 +2,8 @@
 
 
 class Table:
+    __slots__ = ("entries",)
+
     def __init__(self):
         self.entries: dict[int, int] = {}
 

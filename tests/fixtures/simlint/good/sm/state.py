@@ -1,0 +1,31 @@
+"""SL007 known-good (hot path): slotted, exempt, or suppressed classes."""
+
+import enum
+from dataclasses import dataclass
+
+
+class WarpSlot:
+    __slots__ = ("warp_id",)
+
+    def __init__(self, warp_id):
+        self.warp_id = warp_id
+
+
+@dataclass(slots=True)
+class IssueRecord:
+    warp_id: int
+    cycle: int
+
+
+class PipelineError(Exception):
+    """Exception types are exempt: raise/pickle machinery wants __dict__."""
+
+
+class Stage(enum.Enum):
+    FETCH = 0
+    ISSUE = 1
+
+
+class LegacyTable:  # simlint: ignore[SL007] -- measured: __dict__ is cheaper here
+    def __init__(self):
+        self.rows = []

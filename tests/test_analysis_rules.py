@@ -234,6 +234,24 @@ class TestSL006PaperGolden:
         assert run_lint([GOOD / "experiments"]).clean
 
 
+class TestSL007HotPathSlots:
+    def test_bad_fixture_fires(self):
+        result = run_lint([BAD / "sm" / "state.py"])
+        assert by_rule(result) == {"SL007": 3}
+        messages = " | ".join(f.message for f in result.findings)
+        assert "WarpSlot declares no __slots__" in messages
+        assert "IssueRecord declares no __slots__" in messages
+        assert "Tracker is defined inside a function" in messages
+
+    def test_silent_outside_hot_path(self, tmp_path):
+        target = tmp_path / "state.py"
+        target.write_text((BAD / "sm" / "state.py").read_text())
+        assert run_lint([target]).clean
+
+    def test_good_fixture_clean(self):
+        assert run_lint([GOOD / "sm" / "state.py"]).clean
+
+
 class TestFixtureTrees:
     def test_bad_tree_totals(self):
         result = run_lint([BAD])
@@ -244,6 +262,7 @@ class TestFixtureTrees:
             "SL004": 5,
             "SL005": 3,
             "SL006": 6,
+            "SL007": 3,
         }
 
     def test_good_tree_is_clean(self):
@@ -309,7 +328,7 @@ class TestEngineBehaviour:
         assert payload["summary"]["total"] == 3
         assert payload["summary"]["by_rule"] == {"SL005": 3}
         assert set(payload["rules"]) == {
-            "SL001", "SL002", "SL003", "SL004", "SL005", "SL006",
+            "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
         }
         for finding in payload["findings"]:
             assert set(finding) == {"path", "line", "col", "rule", "message"}
