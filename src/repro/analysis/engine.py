@@ -233,7 +233,7 @@ def load_module(path: Path) -> "ModuleInfo | Finding":
 
 
 def default_rules() -> list[Rule]:
-    """Fresh instances of every registered rule (SL001–SL007)."""
+    """Fresh instances of every registered rule (SL001–SL008)."""
     from repro.analysis.rules import build_all_rules
 
     return build_all_rules()

@@ -1,4 +1,4 @@
-"""Built-in simlint rules (SL001–SL007).
+"""Built-in simlint rules (SL001–SL008).
 
 Each rule lives in its own module and registers here. ``build_all_rules``
 returns fresh instances for one engine run — rules carry per-run state
@@ -17,6 +17,7 @@ from repro.analysis.rules.hotpath_slots import HotPathSlotsRule
 from repro.analysis.rules.paper_golden import PaperGoldenRule
 from repro.analysis.rules.picklability import PicklabilityRule
 from repro.analysis.rules.registries import RegistryCompletenessRule
+from repro.analysis.rules.robust_io import RobustIORule
 
 #: Every registered rule class, in code order.
 ALL_RULES: tuple[type[Rule], ...] = (
@@ -27,6 +28,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     FrozenConfigRule,
     PaperGoldenRule,
     HotPathSlotsRule,
+    RobustIORule,
 )
 
 

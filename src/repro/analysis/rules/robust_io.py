@@ -1,0 +1,153 @@
+"""SL008 — robust I/O: no swallowed failures or torn writes in persistence code.
+
+The experiment and registry layers own the durable artifacts of a run
+(sweep JSONL stores, registry records, exported JSON). A crash between
+``open(path, "w")`` and the final ``write`` leaves a torn file that a
+resume or ``repro fsck`` must then repair; a bare ``except:`` (or a
+handler that only ``pass``es) turns a real persistence failure into
+silent data loss. Within modules under ``experiments/`` or ``registry/``
+this rule flags:
+
+* bare ``except:`` clauses — they catch ``KeyboardInterrupt`` and
+  ``SystemExit`` too, so a Ctrl-C mid-write looks like success;
+* handlers whose body is only ``pass``/``...`` — the failure is
+  swallowed with no record that anything went wrong;
+* direct whole-file writes: ``open(path, "w"/"a"/"x")`` or
+  ``Path.write_text(...)`` — a crash mid-write tears the file.
+
+The fixes this rule's messages point at live in
+:mod:`repro.resilience.atomic`: :func:`~repro.resilience.atomic.atomic_write`
+(temp file + fsync + ``os.replace``) for whole files and
+:func:`~repro.resilience.atomic.append_line` (single-syscall,
+self-truncating) for JSONL appends. Writing to an explicitly temporary
+name (one containing ``tmp``) is exempt — that *is* the
+write-temp-then-rename pattern. A deliberate swallow (e.g. a telemetry
+side channel that must never take the simulation down) carries
+``# simlint: ignore[SL008]`` plus a comment saying why.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis.engine import ModuleInfo, Reporter, Rule
+
+#: Package-directory names whose modules persist run artifacts.
+PERSISTENCE_PACKAGES = frozenset({"experiments", "registry"})
+
+#: ``open`` modes that create or mutate the target file in place.
+_WRITE_MODES = ("w", "a", "x")
+
+
+def _is_persistence_module(module: ModuleInfo) -> bool:
+    return any(part in PERSISTENCE_PACKAGES for part in module.path.parts)
+
+
+def _body_only_passes(body: list[ast.stmt]) -> bool:
+    """True when a handler body does nothing at all (``pass`` / ``...``)."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis):
+            continue
+        return False
+    return True
+
+
+def _open_write_mode(node: ast.Call) -> Optional[str]:
+    """The write mode of an ``open(...)`` call, if it opens for writing."""
+    if not (isinstance(node.func, ast.Name) and node.func.id == "open"):
+        return None
+    mode: Optional[ast.expr] = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    else:
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+    if not (isinstance(mode, ast.Constant) and isinstance(mode.value, str)):
+        return None  # default mode is "r"; dynamic modes are out of reach
+    if any(flag in mode.value for flag in _WRITE_MODES):
+        return mode.value
+    return None
+
+
+def _targets_temp_file(module: ModuleInfo, node: ast.Call) -> bool:
+    """True when the write target is an explicitly temporary name.
+
+    Writing to ``foo.tmp`` (then ``os.replace``-ing it over the real
+    path) is the atomic pattern itself, not a violation of it.
+    """
+    target: Optional[ast.expr] = None
+    if isinstance(node.func, ast.Name):  # open(target, ...)
+        target = node.args[0] if node.args else None
+    elif isinstance(node.func, ast.Attribute):  # target.write_text(...)
+        target = node.func.value
+    if target is None:
+        return False
+    segment = ast.get_source_segment(module.source, target) or ""
+    return "tmp" in segment.lower() or "temp" in segment.lower()
+
+
+class _RobustIOVisitor(ast.NodeVisitor):
+    def __init__(self, module: ModuleInfo, reporter: Reporter) -> None:
+        self._module = module
+        self._reporter = reporter
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._reporter.report(
+                RobustIORule.code, self._module, node,
+                "bare 'except:' in persistence code also catches "
+                "KeyboardInterrupt/SystemExit, so an interrupted write "
+                "looks like success; catch the specific exception "
+                "(OSError, json.JSONDecodeError, ...)",
+            )
+        elif _body_only_passes(node.body):
+            self._reporter.report(
+                RobustIORule.code, self._module, node,
+                "exception swallowed with a pass-only handler: a "
+                "persistence failure here is silent data loss; handle "
+                "it, log it, or re-raise (a deliberate swallow carries "
+                "# simlint: ignore[SL008] and a comment saying why)",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        mode = _open_write_mode(node)
+        if mode is not None and not _targets_temp_file(self._module, node):
+            fix = ("repro.resilience.atomic.append_line"
+                   if "a" in mode else
+                   "repro.resilience.atomic.atomic_write (or write a "
+                   "*.tmp name and os.replace it)")
+            self._reporter.report(
+                RobustIORule.code, self._module, node,
+                f"open(..., {mode!r}) writes the live file in place; a "
+                f"crash mid-write tears it — use {fix}",
+            )
+        elif (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "write_text"
+                and not _targets_temp_file(self._module, node)):
+            self._reporter.report(
+                RobustIORule.code, self._module, node,
+                "Path.write_text replaces the live file non-atomically; "
+                "a crash mid-write tears it — use "
+                "repro.resilience.atomic.atomic_write",
+            )
+        self.generic_visit(node)
+
+
+class RobustIORule(Rule):
+    """SL008: swallowed exceptions and torn writes in persistence code."""
+
+    code = "SL008"
+    title = ("robust I/O: no bare/pass-only except or non-atomic writes "
+             "in experiments/ and registry/")
+
+    def check_module(self, module: ModuleInfo, reporter: Reporter) -> None:
+        if not _is_persistence_module(module):
+            return
+        _RobustIOVisitor(module, reporter).visit(module.tree)

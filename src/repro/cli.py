@@ -20,6 +20,9 @@ Commands::
     diff REF [REF2] [--rtol R]           tolerance-checked metric diff;
                                          exits 1 on drift (the CI gate)
     report [--html F]                    self-contained HTML results report
+    chaos --faults K,K [...]             sweep under injected faults; assert
+                                         output byte-identical to clean run
+    fsck [--repair]                      audit (and heal) the run registry
 
 ``run`` takes ``--telemetry`` (stall attribution + heartbeat),
 ``--trace-out FILE`` (Chrome trace-event JSON; open in chrome://tracing
@@ -45,13 +48,31 @@ interrupted sweep resumes where it left off::
     python -m repro sweep --apps KM BFS --configs base apres \\
         --out results.jsonl --resume-from results.jsonl   # only the rest
 
+Resume skips quarantined failure records (deterministic errors,
+exhausted retries, supervisor quarantines) instead of re-running them;
+``sweep --retry-failed`` forces a re-attempt. ``sweep --worker-deadline
+SEC`` / ``--max-attempts N`` enable the hardened supervised pool: hung
+workers are killed after SEC silent seconds and their points requeued
+with capped jittered backoff, poisoned points are quarantined after N
+dispatches, and the pool degrades to serial if workers keep dying.
+
 ``run``, ``sweep``, ``figure``, ``table`` and ``scorecard`` ingest their
 results into the registry (``bench_results/registry`` by default,
 ``REPRO_REGISTRY_DIR`` to relocate, ``--no-registry`` to skip), which is
 what ``repro diff <run-id>`` and ``repro report`` read back.
 
+``chaos`` runs a small sweep twice — clean/serial and ``--jobs N`` under
+a seeded fault plan (``--faults crash,hang,torn-write,disk-full,
+fsync-fail,corrupt-record``) — heals the damage (supervised pool, atomic
+appends, ``fsck --repair``) and exits 0 only when the final sweep store
+and registry are byte-identical to the clean run. ``fsck`` audits the
+registry for torn lines, hash mismatches, duplicates and index drift;
+``--repair`` quarantines bad lines (``<registry>/quarantine/``),
+restores restorable records from a sweep store (``--restore-from``) and
+rebuilds the index.
+
 Exit codes: 0 success, 1 failed validation, failed sweep points, lint
-findings, or a diff outside tolerance, 2 a
+findings, fsck/chaos findings, or a diff outside tolerance, 2 a
 :class:`~repro.errors.ReproError` aborted the command.
 """
 
@@ -67,6 +88,7 @@ from repro.experiments import figures
 from repro.experiments.configs import CONFIGS, experiment_gpu_config
 from repro.experiments.report import format_table
 from repro.experiments.runner import run
+from repro.resilience.atomic import atomic_write
 from repro.workloads.suite import SUITE
 
 #: Exit code when a ReproError aborts the command.
@@ -279,9 +301,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         trace_path = os.path.join(out_dir, "trace.json")
         hub.trace.write(trace_path)
         stalls_path = os.path.join(out_dir, "stalls.json")
-        with open(stalls_path, "w", encoding="utf-8") as fh:
-            json.dump(report, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        atomic_write(stalls_path,
+                     json.dumps(report, indent=2, sort_keys=True) + "\n")
 
     print(format_table(
         ["Stall cause", "Cycles", "Share"], _stall_rows(report),
@@ -444,6 +465,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                  else f"{record['error']}: {record['message']}")
         writer.line(f"[sweep] {point.key}: {status} ({extra})")
 
+    supervisor = None
+    if args.worker_deadline is not None or args.max_attempts is not None:
+        from repro.resilience.supervisor import SupervisorConfig
+
+        supervisor = SupervisorConfig(
+            deadline_s=args.worker_deadline,
+            max_attempts=args.max_attempts
+            if args.max_attempts is not None else 3,
+        )
+
     registry = _registry(args)
     summary = run_sweep(
         points,
@@ -462,6 +493,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         jobs=jobs,
         use_cache=not args.no_cache,
         heartbeat_writer=writer,
+        retry_failed=args.retry_failed,
+        supervisor=supervisor,
     )
     rows = [
         ["points", summary.total_points],
@@ -474,11 +507,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if registry is not None and not args.no_cache:
         rows.insert(4, ["cache hits (registry)", summary.cache_hits])
         rows.insert(5, ["cache misses", summary.cache_misses])
+        if summary.cache_rejected:
+            rows.insert(6, ["cache hits rejected (hash)",
+                            summary.cache_rejected])
+    if summary.quarantined_skipped:
+        rows.insert(3, ["skipped (quarantined)", summary.quarantined_skipped])
     if registry is not None:
         rows.append(["registry", str(registry.root)])
     print(format_table(["Sweep", "Value"], rows, title="Sweep summary"))
     if summary.failed_keys:
         print("failed points: " + ", ".join(summary.failed_keys))
+    if summary.quarantined_keys:
+        print("quarantined points (resume skips; --retry-failed re-attempts): "
+              + ", ".join(summary.quarantined_keys))
     return 1 if summary.failed else 0
 
 
@@ -513,9 +554,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     directory = os.path.dirname(out)
     if directory:
         os.makedirs(directory, exist_ok=True)
-    with open(out, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    atomic_write(out, json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     if args.json:
         print(json.dumps(payload, indent=2, sort_keys=True))
@@ -572,9 +611,8 @@ def _cmd_scorecard(args: argparse.Namespace) -> int:
         directory = os.path.dirname(args.out)
         if directory:
             os.makedirs(directory, exist_ok=True)
-        with open(args.out, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        atomic_write(args.out,
+                     json.dumps(payload, indent=2, sort_keys=True) + "\n")
     if args.json:
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
@@ -715,6 +753,63 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return cmd_lint(args)
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.resilience.chaos import format_chaos, run_chaos
+    from repro.resilience.faults import FAULT_KINDS
+
+    if args.faults.strip().lower() == "all":
+        kinds = list(FAULT_KINDS)
+    else:
+        kinds = [k.strip() for k in args.faults.split(",") if k.strip()]
+        unknown = sorted(set(kinds) - set(FAULT_KINDS))
+        if unknown:
+            raise ReproError(
+                f"unknown fault kind(s): {', '.join(unknown)}; choose from "
+                + ", ".join(FAULT_KINDS) + " (or 'all')",
+                details={"unknown": unknown},
+            )
+    extra = {"apps": args.apps} if args.apps else {}
+    report = run_chaos(
+        kinds,
+        jobs=args.jobs,
+        seed=args.seed,
+        out_dir=args.out,
+        deadline_s=args.deadline,
+        max_attempts=args.max_attempts,
+        scale=args.scale,
+        **extra,
+    )
+    print(format_chaos(report))
+    return 0 if report.ok else 1
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.registry.store import RegistryStore
+    from repro.resilience.fsck import format_fsck, fsck
+
+    store = RegistryStore(args.registry) if args.registry else RegistryStore()
+    report = fsck(store, repair=args.repair, restore_from=args.restore_from)
+    if args.json:
+        payload = {
+            "root": report.root,
+            "records": report.records,
+            "issues": report.counts(),
+            "repaired": report.repaired,
+            "quarantine": report.quarantine_path,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_fsck(report))
+    if report.ok:
+        return 0
+    if args.repair:
+        # A repair pass resolved what it found; verify the healed store.
+        return 0 if fsck(store).ok else 1
+    return 1
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.experiments.validate import check_claims, format_report
 
@@ -835,7 +930,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--scales", nargs="*", type=float, default=[0.5],
                          metavar="S", help="workload scales (default: 0.5)")
     p_sweep.add_argument("--resume-from", metavar="PATH", default=None,
-                         help="skip points already completed in this store")
+                         help="skip points already completed in this store "
+                              "(quarantined failures stay skipped)")
+    p_sweep.add_argument("--retry-failed", action="store_true",
+                         help="with --resume-from: re-attempt quarantined "
+                              "failure records instead of skipping them")
     p_sweep.add_argument("--retries", type=int, default=2, metavar="K",
                          help="retries per point on transient simulation errors")
     p_sweep.add_argument("--backoff", type=float, default=0.5, metavar="SEC",
@@ -852,6 +951,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "(implies --telemetry)")
     p_sweep.add_argument("--window", type=int, default=5_000, metavar="N",
                          help="interval-metrics window in simulated cycles")
+    p_sweep.add_argument("--worker-deadline", type=float, default=None,
+                         metavar="SEC",
+                         help="supervised pool: kill and requeue any worker "
+                              "silent for SEC seconds (enables heartbeats)")
+    p_sweep.add_argument("--max-attempts", type=int, default=None, metavar="N",
+                         help="supervised pool: quarantine a point after N "
+                              "dispatch attempts (default 3)")
     add_parallel_flags(p_sweep, cache=True)
     add_integrity_flags(p_sweep)
     add_registry_flag(p_sweep)
@@ -928,8 +1034,52 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--figures", nargs="*", metavar="FIG")
     add_registry_flag(p_rep)
 
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="sweep under injected faults; assert the healed output is "
+             "byte-identical to a clean run",
+    )
+    p_chaos.add_argument("--faults", default="all", metavar="K,K,...",
+                         help="comma-separated fault kinds (crash, hang, "
+                              "torn-write, disk-full, fsync-fail, "
+                              "corrupt-record) or 'all'")
+    p_chaos.add_argument("--jobs", type=int, default=2, metavar="N",
+                         help="workers for the chaotic run (default 2)")
+    p_chaos.add_argument("--apps", nargs="*", metavar="APP",
+                         help="workloads for the chaos grid (default BFS KM)")
+    p_chaos.add_argument("--scale", type=float, default=0.05,
+                         help="workload scale for the chaos grid")
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="fault-plan placement seed")
+    p_chaos.add_argument("--out", metavar="DIR", default=None,
+                         help="artifact directory (default: a fresh temp dir)")
+    p_chaos.add_argument("--deadline", type=float, default=5.0, metavar="SEC",
+                         help="heartbeat deadline before a hung worker is "
+                              "killed and its point requeued")
+    p_chaos.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                         help="dispatch attempts before a point is "
+                              "quarantined")
+
+    p_fsck = sub.add_parser(
+        "fsck",
+        help="audit (and with --repair, heal) the run registry: torn lines, "
+             "hash mismatches, duplicates, index drift",
+    )
+    p_fsck.add_argument("--registry", metavar="DIR", default=None,
+                        help="registry root (default bench_results/registry, "
+                             "or REPRO_REGISTRY_DIR)")
+    p_fsck.add_argument("--repair", action="store_true",
+                        help="quarantine bad lines, restore restorable "
+                             "records, rewrite the JSONL atomically and "
+                             "rebuild the SQLite index")
+    p_fsck.add_argument("--restore-from", metavar="PATH", default=None,
+                        help="sweep JSONL store used to regenerate corrupted "
+                             "registry records losslessly")
+    p_fsck.add_argument("--json", action="store_true",
+                        help="emit the fsck report as JSON on stdout")
+
     p_lint = sub.add_parser(
-        "lint", help="simulator-aware static analysis (simlint SL001-SL007)"
+        "lint", help="simulator-aware static analysis (simlint SL001-SL008)"
     )
     from repro.analysis.cli import add_lint_arguments
 
@@ -952,6 +1102,8 @@ _COMMANDS = {
     "diff": _cmd_diff,
     "report": _cmd_report,
     "lint": _cmd_lint,
+    "chaos": _cmd_chaos,
+    "fsck": _cmd_fsck,
 }
 
 

@@ -61,7 +61,9 @@ def export_figure(
         "apps": list(apps) if apps else None,
         "data": to_jsonable(producer(apps, scale)),
     }
-    pathlib.Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+    from repro.resilience.atomic import atomic_write
+
+    atomic_write(path, json.dumps(payload, indent=2, sort_keys=True))
     return payload
 
 

@@ -27,6 +27,7 @@ single writer per output file regardless of ``--jobs``.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 import sys
@@ -37,6 +38,8 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Optional, Sequence, TextIO
 
 from repro.config import GPUConfig
+from repro.resilience import faults
+from repro.resilience.supervisor import SupervisedPool, SupervisorConfig
 
 #: One prewarmable runner point: (workload, config_name, scale, gpu_config).
 RunPoint = tuple[str, str, float, Optional[GPUConfig]]
@@ -102,7 +105,7 @@ class QueueHeartbeatSink:
                 (self._key, record.get("cycle_end"), record.get("ipc"),
                  record.get("ipc_cum"))
             )
-        except Exception:
+        except Exception:  # simlint: ignore[SL008]
             # A dying manager must never take the simulation down with it.
             pass
 
@@ -197,10 +200,15 @@ def _run_point_task(task: PointTask) -> tuple[int, dict]:
     return task.index, record
 
 
+def _default_supervisor_event(message: str) -> None:
+    print(f"[supervisor] {message}", file=sys.stderr)
+
+
 def run_point_tasks(
     tasks: Sequence[PointTask],
     jobs: int,
     heartbeat_queue: Any = None,
+    supervisor: Optional[SupervisorConfig] = None,
 ) -> Iterator[tuple[int, Any]]:
     """Execute sweep-point tasks on a pool, yielding in completion order.
 
@@ -209,8 +217,27 @@ def run_point_tasks(
     caller can turn it into a structured failure record. The caller owns
     ordering — see :func:`repro.experiments.sweep.run_sweep`, which holds
     completed records back until every earlier point has flushed.
+
+    With a ``supervisor`` config — or whenever a fault plan is armed —
+    the plain executor is swapped for the hardened
+    :class:`~repro.resilience.supervisor.SupervisedPool`: heartbeat
+    deadlines, kill-and-requeue with capped jittered backoff, poisoned
+    point quarantine (yielded as
+    :class:`~repro.resilience.supervisor.PointQuarantined`), and graceful
+    degradation to serial when the pool keeps dying.
     """
     if not tasks:
+        return
+    if supervisor is None and faults.ACTIVE is not None:
+        # A chaos run without an explicit config still needs supervision:
+        # injected hangs/crashes must be detected, not wedge the sweep.
+        supervisor = SupervisorConfig(deadline_s=10.0)
+    if supervisor is not None:
+        if supervisor.fault_plan is None and faults.ACTIVE is not None:
+            supervisor = dataclasses.replace(
+                supervisor, fault_plan=faults.ACTIVE)
+        pool = SupervisedPool(supervisor, on_event=_default_supervisor_event)
+        yield from pool.run(tasks, jobs, telemetry_queue=heartbeat_queue)
         return
     with ProcessPoolExecutor(
         max_workers=min(jobs, len(tasks)),

@@ -226,6 +226,7 @@ def write_html_report(
     out = pathlib.Path(path)
     if out.parent and not out.parent.exists():
         out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(build_html_report(scorecard_payload, stall_records, title),
-                   encoding="utf-8")
+    from repro.resilience.atomic import atomic_write
+
+    atomic_write(out, build_html_report(scorecard_payload, stall_records, title))
     return out

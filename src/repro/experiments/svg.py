@@ -127,9 +127,11 @@ def save_chart(data: Mapping[str, Mapping[str, float]], path: PathLike,
                title: str = "", ylabel: str = "",
                baseline: Optional[float] = 1.0) -> pathlib.Path:
     """Render and write one chart; returns the path."""
+    from repro.resilience.atomic import atomic_write
+
     out = pathlib.Path(path)
-    out.write_text(grouped_bar_chart(data, title=title, ylabel=ylabel,
-                                     baseline=baseline))
+    atomic_write(out, grouped_bar_chart(data, title=title, ylabel=ylabel,
+                                        baseline=baseline))
     return out
 
 

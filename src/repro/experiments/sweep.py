@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 import os
 import signal
+import sys
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -34,6 +35,7 @@ from repro.config import GPUConfig
 from repro.errors import ReproError, SimulationError, WatchdogTimeout
 from repro.experiments.configs import CONFIGS
 from repro.experiments.runner import RunResult, run
+from repro.resilience.atomic import append_line
 from repro.workloads.suite import SUITE
 
 #: Bump when the record layout changes incompatibly.
@@ -83,10 +85,12 @@ def sweep_points(
 class ResultsStore:
     """Append-only JSONL store of sweep results.
 
-    Each line is one self-contained JSON record. Appends are flushed and
-    fsynced so a SIGKILL can truncate at most the line being written;
-    :meth:`load` tolerates such a torn tail by skipping undecodable lines
-    (the affected point is simply re-simulated on resume).
+    Each line is one self-contained JSON record, appended as a single
+    fsynced ``O_APPEND`` syscall through the self-healing
+    :func:`repro.resilience.atomic.append_line` — a SIGKILL, disk-full or
+    I/O error can therefore never leave a torn line behind; :meth:`load`
+    still tolerates a legacy torn tail by skipping undecodable lines (the
+    affected point is simply re-simulated on resume).
     """
 
     def __init__(self, path: str):
@@ -112,13 +116,7 @@ class ResultsStore:
         return records
 
     def append(self, record: dict) -> None:
-        directory = os.path.dirname(os.path.abspath(self.path))
-        os.makedirs(directory, exist_ok=True)
-        line = json.dumps(record, sort_keys=True)
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+        append_line(self.path, json.dumps(record, sort_keys=True))
 
 
 @dataclass
@@ -136,6 +134,13 @@ class SweepSummary:
     cache_misses: int = 0
     #: Keys that ended in a failure record this invocation.
     failed_keys: list[str] = field(default_factory=list)
+    #: Registry memo hits rejected by hash verification (re-simulated).
+    cache_rejected: int = 0
+    #: Quarantined failure records skipped on resume (``--retry-failed``
+    #: forces them back into the pending set instead).
+    quarantined_skipped: int = 0
+    #: Keys currently quarantined: skipped on resume + newly quarantined.
+    quarantined_keys: list[str] = field(default_factory=list)
 
     @property
     def completed(self) -> int:
@@ -196,7 +201,15 @@ def _ok_record(point: SweepPoint, result: RunResult, attempts: int) -> dict:
     }
 
 
-def _failure_record(point: SweepPoint, exc: ReproError, attempts: int) -> dict:
+def _failure_record(point: SweepPoint, exc: ReproError, attempts: int,
+                    quarantined: bool = True) -> dict:
+    """Structured failure row. ``quarantined`` marks failures that resume
+    should *skip* rather than retry: deterministic errors and supervisor
+    quarantines (a point that failed ``max_attempts`` times in one run).
+    Transient failures (a worker crash under the plain pool, an exhausted
+    serial retry budget) pass ``False`` so the next resume re-attempts
+    them.
+    """
     return {
         "format": RESULT_FORMAT,
         "key": point.key,
@@ -208,6 +221,7 @@ def _failure_record(point: SweepPoint, exc: ReproError, attempts: int) -> dict:
         "error": type(exc).__name__,
         "message": str(exc),
         "details": exc.details,
+        "quarantined": bool(quarantined),
     }
 
 
@@ -239,7 +253,7 @@ def _wall_clock_limit(seconds: Optional[float], key: str):
 
 
 def _cached_record(registry: Any, point: SweepPoint, provenance: dict
-                   ) -> Optional[dict]:
+                   ) -> tuple[Optional[dict], bool]:
     """Replayable record for ``point`` from the registry, if one exists.
 
     The point's identity (workload, config, scheduler, prefetcher, seed,
@@ -247,22 +261,45 @@ def _cached_record(registry: Any, point: SweepPoint, provenance: dict
     it; on a hit the archived sweep record is returned verbatim, so a
     cache-warm sweep appends byte-identical JSONL lines. Only complete
     ``status == "ok"`` records qualify — failures are never memoised.
+
+    A hit is **hash-verified before it is trusted**: ingestion stamps
+    ``data["sweep_record_sha256"]`` next to the archived record, and a
+    record whose recomputed hash no longer matches (bit rot, a corrupted
+    archive, an injected fault) is rejected with a warning instead of
+    being replayed into results. Returns ``(record, rejected)`` —
+    ``rejected`` is True when a hit existed but failed verification, so
+    the caller can count the forced re-simulation.
     """
-    from repro.registry.records import sweep_point_run_id
+    from repro.registry.records import record_sha256, sweep_point_run_id
 
     run_id = sweep_point_run_id(
         point.workload, point.config_name, point.scale, provenance)
     try:
         hits = registry.history(run_id, limit=1)
     except Exception:
-        return None  # an unreadable registry must not fail the sweep
+        return None, False  # an unreadable registry must not fail the sweep
     if not hits:
-        return None
+        return None, False
     data = hits[0].get("data") or {}
     record = data.get("sweep_record")
     if not isinstance(record, dict) or record.get("status") != "ok":
-        return None
-    return record
+        return None, False
+    if record.get("key") != point.key:
+        _warn_cache_reject(point.key, "archived record key mismatch")
+        return None, True
+    expected = data.get("sweep_record_sha256")
+    if isinstance(expected, str) and record_sha256(record) != expected:
+        _warn_cache_reject(point.key, "payload hash mismatch")
+        return None, True
+    return record, False
+
+
+def _warn_cache_reject(key: str, reason: str) -> None:
+    print(
+        f"[resilience] registry memo for {key} rejected ({reason}); "
+        "re-simulating",
+        file=sys.stderr,
+    )
 
 
 def run_sweep(
@@ -284,12 +321,20 @@ def run_sweep(
     jobs: int = 1,
     use_cache: bool = True,
     heartbeat_writer: Optional[Any] = None,
+    retry_failed: bool = False,
+    supervisor: Optional[Any] = None,
 ) -> SweepSummary:
     """Run every point, persisting each result to ``out_path`` as it lands.
 
     ``resume_from`` names an earlier (possibly interrupted) store whose
     completed points are skipped; pointing it at ``out_path`` itself makes
-    the sweep restartable in place. ``max_points`` bounds how many points
+    the sweep restartable in place. Failure records marked
+    ``"quarantined": true`` (deterministic errors, supervisor
+    quarantines) are *also* skipped on resume —
+    re-running them would poison the sweep again — and reported via
+    ``quarantined_skipped`` / ``quarantined_keys`` in the summary;
+    ``retry_failed`` forces them back into the pending set instead.
+    ``max_points`` bounds how many points
     are *processed* (simulated or cache-replayed) this invocation (skips
     are free) — useful for smoke tests and incremental fills. ``sleep`` is
     injectable so tests can verify backoff without waiting.
@@ -315,23 +360,29 @@ def run_sweep(
     stays in the parent. ``heartbeat_writer`` (a
     :class:`~repro.experiments.parallel.ProgressWriter`) merges per-worker
     telemetry heartbeats into one stream when telemetry is enabled.
+    ``supervisor`` (a :class:`~repro.resilience.SupervisorConfig`) swaps
+    the plain pool for the hardened supervised engine — heartbeat
+    deadlines, kill-and-requeue, quarantine, serial degradation.
     """
     points = list(points)
     base_prov = _base_provenance(gpu_config)
     store = ResultsStore(out_path)
     done: dict[str, dict] = {}
+    quarantined_resume: dict[str, dict] = {}
     if resume_from:
-        done.update(
-            {
-                key: record
-                for key, record in ResultsStore(resume_from).load().items()
-                if record.get("status") == "ok"
-            }
-        )
+        carried: list[dict] = []
+        for key, record in ResultsStore(resume_from).load().items():
+            if record.get("status") == "ok":
+                done[key] = record
+                carried.append(record)
+            elif record.get("quarantined") and not retry_failed:
+                quarantined_resume[key] = record
+                carried.append(record)
         if os.path.abspath(resume_from) != os.path.abspath(out_path):
-            # Merging stores: carry completed points into the new one so
-            # out_path alone holds the full sweep at the end.
-            for record in done.values():
+            # Merging stores: carry completed (and still-quarantined)
+            # points into the new one so out_path alone holds the full
+            # sweep at the end.
+            for record in carried:
                 store.append(record)
 
     summary = SweepSummary(out_path=out_path, total_points=len(points))
@@ -343,6 +394,9 @@ def run_sweep(
     for point in points:
         if point.key in done:
             summary.skipped += 1
+        elif point.key in quarantined_resume:
+            summary.quarantined_skipped += 1
+            summary.quarantined_keys.append(point.key)
         else:
             pending.append(point)
     if max_points is not None:
@@ -369,8 +423,17 @@ def run_sweep(
         if record["status"] != "ok":
             summary.failed += 1
             summary.failed_keys.append(point.key)
+            if record.get("quarantined"):
+                summary.quarantined_keys.append(point.key)
         if progress is not None:
             progress(point, record)
+
+    def cache_lookup(point: SweepPoint, provenance: dict) -> Optional[dict]:
+        """Verified registry memo lookup, counting rejected hits."""
+        cached, rejected = _cached_record(registry, point, provenance)
+        if rejected:
+            summary.cache_rejected += 1
+        return cached
 
     if jobs > 1 and pending:
         _run_pending_parallel(
@@ -379,14 +442,14 @@ def run_sweep(
             point_timeout_s=point_timeout_s,
             telemetry=telemetry or trace_dir is not None,
             trace_dir=trace_dir, telemetry_window=telemetry_window,
-            registry=registry if caching else None, jobs=jobs,
-            heartbeat_writer=heartbeat_writer,
+            cache_lookup=cache_lookup if caching else None, jobs=jobs,
+            heartbeat_writer=heartbeat_writer, supervisor=supervisor,
         )
         return summary
 
     for point, provenance in zip(pending, provenances):
         if caching:
-            cached = _cached_record(registry, point, provenance)
+            cached = cache_lookup(point, provenance)
             if cached is not None:
                 flush(point, cached, cached=True)
                 continue
@@ -418,9 +481,10 @@ def _run_pending_parallel(
     telemetry: bool,
     trace_dir: Optional[str],
     telemetry_window: int,
-    registry: Optional[Any],
+    cache_lookup: Optional[Callable[[SweepPoint, dict], Optional[dict]]],
     jobs: int,
     heartbeat_writer: Optional[Any],
+    supervisor: Optional[Any] = None,
 ) -> None:
     """Fan pending points across a pool, flushing strictly in point order.
 
@@ -436,13 +500,14 @@ def _run_pending_parallel(
         ProgressWriter,
         run_point_tasks,
     )
+    from repro.resilience.supervisor import PointQuarantined
 
     results: dict[int, tuple[dict, bool]] = {}
     tasks: list[PointTask] = []
     for index, (point, provenance) in enumerate(zip(pending, provenances)):
         cached = (
-            _cached_record(registry, point, provenance)
-            if registry is not None else None
+            cache_lookup(point, provenance)
+            if cache_lookup is not None else None
         )
         if cached is not None:
             results[index] = (cached, True)
@@ -470,9 +535,16 @@ def _run_pending_parallel(
 
     try:
         for index, payload in run_point_tasks(
-            tasks, jobs, heartbeat_queue=relay.queue if relay else None
+            tasks, jobs, heartbeat_queue=relay.queue if relay else None,
+            supervisor=supervisor,
         ):
-            if isinstance(payload, Exception):
+            if isinstance(payload, PointQuarantined):
+                record = _failure_record(
+                    pending[index], payload,
+                    attempts=int(payload.details.get("attempts", 1)),
+                    quarantined=True,
+                )
+            elif isinstance(payload, Exception):
                 record = _failure_record(
                     pending[index],
                     SimulationError(
@@ -481,6 +553,7 @@ def _run_pending_parallel(
                                  "error": type(payload).__name__},
                     ),
                     attempts=1,
+                    quarantined=False,
                 )
             else:
                 record = payload
@@ -541,7 +614,10 @@ def _run_point(
             return record
         except SimulationError as exc:
             if attempts > retries:
-                return _failure_record(point, exc, attempts)
+                # Transient by assumption (timeouts, livelocks): a resume —
+                # possibly under a healthier config — re-attempts these.
+                return _failure_record(point, exc, attempts,
+                                       quarantined=False)
             sleep(backoff_s * (2 ** (attempts - 1)))
         except ReproError as exc:
             # Config/workload errors are deterministic; retrying cannot help.

@@ -23,6 +23,22 @@ import repro
 #: figure can never be mistaken for a differently-scaled one.
 BENCH_SCALE_ENV = "REPRO_BENCH_SCALE"
 
+#: Pins ``created_unix`` to a fixed epoch. ``repro chaos`` sets it around
+#: its clean and faulted runs so registry lines — which embed provenance —
+#: can be compared byte-for-byte; every other provenance field is already
+#: stable within one host and checkout.
+PROVENANCE_EPOCH_ENV = "REPRO_PROVENANCE_EPOCH"
+
+
+def _created_unix() -> float:
+    pinned = os.environ.get(PROVENANCE_EPOCH_ENV, "").strip()
+    if pinned:
+        try:
+            return float(pinned)
+        except ValueError:  # simlint: ignore[SL008]
+            pass  # a malformed pin must never fail a simulation
+    return time.time()
+
 
 def _repo_root() -> pathlib.Path:
     """Directory to resolve git metadata from (the source checkout)."""
@@ -72,5 +88,5 @@ def collect_provenance() -> dict:
         "platform": platform.platform(),
         "python": platform.python_version(),
         "bench_scale_env": os.environ.get(BENCH_SCALE_ENV),
-        "created_unix": time.time(),
+        "created_unix": _created_unix(),
     }

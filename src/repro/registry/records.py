@@ -37,6 +37,19 @@ def content_hash(identity: Mapping[str, Any]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:RUN_ID_LEN]
 
 
+def record_sha256(record: Mapping[str, Any]) -> str:
+    """Full sha256 of a record's canonical JSON (memo-verification hash).
+
+    Ingestion stamps this next to every archived sweep record
+    (``data["sweep_record_sha256"]``); replay recomputes it before
+    trusting a cache hit, so a corrupted archive entry — still valid
+    JSON, wrong numbers — is detected instead of replayed into results.
+    """
+    canonical = json.dumps(record, sort_keys=True, separators=(",", ":"),
+                           default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def config_hash(gpu_config: Any) -> str:
     """Content hash of a GPUConfig (any frozen dataclass works)."""
     if dataclasses.is_dataclass(gpu_config) and not isinstance(gpu_config, type):
@@ -272,7 +285,8 @@ def sweep_point_record(record: Mapping[str, Any]) -> Optional[RunRecord]:
         metrics,
         data={"sweep_key": record.get("key"),
               "engine_events": record.get("engine_events"),
-              "sweep_record": dict(record)},
+              "sweep_record": dict(record),
+              "sweep_record_sha256": record_sha256(record)},
         stalls=record.get("stalls"),
     )
 

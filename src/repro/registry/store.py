@@ -26,6 +26,8 @@ from typing import Any, Optional, Union
 
 from repro.errors import ReproError
 from repro.registry.records import RunRecord
+from repro.resilience import faults
+from repro.resilience.atomic import append_line
 
 PathLike = Union[str, pathlib.Path]
 
@@ -69,42 +71,72 @@ class RegistryStore:
     # ------------------------------------------------------------------
 
     def put(self, record: RunRecord) -> RunRecord:
-        """Persist one record (JSONL first — it is the source of truth)."""
+        """Persist one record (JSONL first — it is the source of truth).
+
+        The JSONL append goes through the self-healing single-syscall
+        :func:`repro.resilience.atomic.append_line`, so a torn registry
+        line cannot persist. The trailing hook lets an armed
+        :class:`~repro.resilience.faults.FaultPlan` corrupt the record it
+        just ingested (the ``corrupt-record`` chaos fault).
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         payload = record.as_dict()
         line = json.dumps(payload, sort_keys=True, default=str)
-        with open(self.jsonl_path, "a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+        append_line(self.jsonl_path, line)
         self._index(payload, line)
+        plan = faults.ACTIVE
+        if plan is not None:
+            plan.registry_ingest_fault(self)
         return record
 
     def _index(self, payload: dict, line: str) -> None:
         with self._connect() as conn:
-            conn.execute(
-                "INSERT INTO records (run_id, kind, name, created_at, git_sha,"
-                " scale, json) VALUES (?, ?, ?, ?, ?, ?, ?)",
-                (
-                    payload["run_id"],
-                    payload["kind"],
-                    payload["name"],
-                    float(payload.get("provenance", {}).get("created_unix")
-                          or time.time()),
-                    payload.get("provenance", {}).get("git_sha"),
-                    payload.get("identity", {}).get("scale"),
-                    line,
-                ),
-            )
+            self._insert(conn, payload, line)
+
+    @staticmethod
+    def _insert(conn: sqlite3.Connection, payload: dict, line: str) -> None:
+        conn.execute(
+            "INSERT INTO records (run_id, kind, name, created_at, git_sha,"
+            " scale, json) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                payload["run_id"],
+                payload["kind"],
+                payload["name"],
+                float(payload.get("provenance", {}).get("created_unix")
+                      or time.time()),
+                payload.get("provenance", {}).get("git_sha"),
+                payload.get("identity", {}).get("scale"),
+                line,
+            ),
+        )
 
     def rebuild_index(self) -> int:
-        """Reconstruct ``registry.db`` from the JSONL mirror; returns rows."""
-        if self.db_path.exists():
-            self.db_path.unlink()
+        """Reconstruct ``registry.db`` from the JSONL mirror; returns rows.
+
+        The rebuild happens in a temporary database that atomically
+        replaces the live one, so a crash mid-rebuild leaves either the
+        old index or the new one — never a half-filled database.
+        """
+        tmp_path = self.db_path.with_name(
+            self.db_path.name + f".tmp.{os.getpid()}")
+        if tmp_path.exists():
+            tmp_path.unlink()
         count = 0
-        for payload, line in self._iter_jsonl():
-            self._index(payload, line)
-            count += 1
+        try:
+            conn = sqlite3.connect(tmp_path)
+            try:
+                conn.executescript(_SCHEMA)
+                for payload, line in self._iter_jsonl():
+                    self._insert(conn, payload, line)
+                    count += 1
+                conn.commit()
+            finally:
+                conn.close()
+            os.replace(tmp_path, self.db_path)
+        except BaseException:
+            if tmp_path.exists():
+                tmp_path.unlink()
+            raise
         return count
 
     # ------------------------------------------------------------------

@@ -1,0 +1,418 @@
+"""Hardened process pool: heartbeat deadlines, kill-and-requeue, quarantine.
+
+:class:`concurrent.futures.ProcessPoolExecutor` — the engine behind plain
+``--jobs N`` sweeps — has two failure modes a long campaign cannot
+afford: a worker that *dies* breaks the whole pool (every outstanding
+future raises ``BrokenProcessPool``), and a worker that *hangs* (SIGSTOP,
+runaway kernel, NFS stall) wedges the sweep forever. This module replaces
+it with a supervised pool when resilience is requested:
+
+* the parent assigns work through **per-worker task queues** and records
+  the assignment on its side *at dispatch time* — detection never depends
+  on a message from the worker, because a worker frozen right after
+  accepting a task would freeze its queue feeder thread too and the
+  message would simply never arrive.
+* every worker runs a daemon **heartbeat thread** posting ticks to the
+  parent; a SIGSTOP freezes all threads, so heartbeats ceasing is exactly
+  the hang signal. The parent timestamps receipt on its own clock (child
+  clocks are never trusted) and escalates any assigned worker silent past
+  ``deadline_s``: SIGKILL → attempt accounting → **requeue** with capped
+  exponential backoff and deterministic jitter → replacement worker.
+* a worker that dies outright (crash, OOM-kill) is detected via its
+  process handle and handled the same way — the sweep's other points
+  never notice.
+* a point that keeps killing its workers is **quarantined** after
+  ``max_attempts`` dispatches: the supervisor yields
+  :class:`PointQuarantined` for it (the sweep driver turns that into a
+  structured failure record marked ``"quarantined": true``) and the sweep
+  continues.
+* if the pool keeps dying (``degrade_after`` worker deaths), the
+  supervisor stops spawning replacements and **degrades gracefully to
+  serial** in-parent execution of the remaining points.
+
+Requeued attempts re-run the same deterministic simulation, so a sweep
+that recovers from any number of crashes/hangs still produces output
+byte-identical to an undisturbed serial run — the property ``repro
+chaos`` asserts end-to-end.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import heapq
+import multiprocessing
+import queue as queue_mod
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.resilience import faults
+
+
+class PointQuarantined(ReproError):
+    """A sweep point was abandoned after exhausting its dispatch attempts.
+
+    ``details`` carries ``kind`` (``worker-hang`` / ``worker-crash`` /
+    ``worker-error``), the attempt count, and ``quarantined: True`` — the
+    marker the sweep driver persists so ``--resume-from`` skips the point
+    instead of re-poisoning the pool (``--retry-failed`` overrides).
+    """
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Tuning knobs of one supervised-pool run (picklable, no callables)."""
+
+    #: Escalate an assigned worker silent for this long (None: hang
+    #: detection off; crash detection needs no heartbeats and stays on).
+    deadline_s: Optional[float] = None
+    #: Worker-side heartbeat period; keep well under ``deadline_s``.
+    heartbeat_interval_s: float = 0.2
+    #: Total dispatches per point before quarantine.
+    max_attempts: int = 3
+    #: First-requeue backoff; doubles per subsequent attempt.
+    backoff_base_s: float = 0.25
+    #: Ceiling on the exponential backoff.
+    backoff_cap_s: float = 5.0
+    #: Deterministic-jitter fraction added to each backoff (0..1).
+    jitter_frac: float = 0.25
+    #: Seed for the jitter stream (paired with point index + attempt).
+    seed: int = 0
+    #: Worker deaths tolerated before degrading to in-parent serial.
+    degrade_after: int = 6
+    #: Parent poll period while waiting for worker messages.
+    poll_interval_s: float = 0.05
+    #: Fault schedule armed inside each worker (chaos/testing).
+    fault_plan: Optional[faults.FaultPlan] = None
+
+
+@dataclass
+class _Assignment:
+    """Parent-side record of one in-flight dispatch (set at dispatch)."""
+
+    index: int
+    attempt: int
+    last_seen: float = field(default_factory=time.monotonic)
+
+
+def _worker_main(
+    worker_id: int,
+    task_queue: Any,
+    result_queue: Any,
+    plan: Optional[faults.FaultPlan],
+    heartbeat_interval_s: float,
+    telemetry_queue: Any,
+) -> None:
+    """Supervised worker: heartbeat thread + task loop.
+
+    Runs tasks with the same integrity wrapper as the plain pool
+    (:func:`repro.experiments.parallel._run_point_task`), so records are
+    byte-identical regardless of which engine produced them.
+    """
+    from repro.experiments.parallel import _init_worker, _run_point_task
+
+    faults.arm(plan)
+    _init_worker(telemetry_queue)
+    stop = threading.Event()
+
+    def _beat() -> None:
+        while not stop.wait(heartbeat_interval_s):
+            try:
+                result_queue.put(("hb", worker_id))
+            except Exception:  # queue torn down mid-shutdown
+                return
+
+    threading.Thread(target=_beat, daemon=True).start()
+    while True:
+        item = task_queue.get()
+        if item is None:
+            break
+        task, attempt = item
+        if plan is not None:
+            plan.worker_point_fault(task.index, attempt)
+        try:
+            index, record = _run_point_task(task)
+            result_queue.put(("done", worker_id, index, record))
+        except BaseException as exc:
+            result_queue.put(
+                ("error", worker_id, task.index,
+                 f"{type(exc).__name__}: {exc}"))
+    stop.set()
+
+
+class SupervisedPool:
+    """Kill-and-requeue pool supervisor. One instance per run() call."""
+
+    def __init__(
+        self,
+        config: SupervisorConfig,
+        on_event: Optional[Callable[[str], None]] = None,
+    ):
+        self.config = config
+        self._on_event = on_event
+        #: Human-readable escalation log (tests assert against this).
+        self.events: list[str] = []
+        self._ctx = multiprocessing.get_context()
+        self._workers: dict[int, Any] = {}
+        self._queues: dict[int, Any] = {}
+        self._idle: list[int] = []
+        self._next_worker_id = 0
+        self.worker_deaths = 0
+        self.degraded = False
+
+    # ------------------------------------------------------------------
+
+    def _event(self, message: str) -> None:
+        self.events.append(message)
+        if self._on_event is not None:
+            self._on_event(message)
+
+    def _backoff_delay(self, index: int, attempt: int) -> float:
+        cfg = self.config
+        base = min(cfg.backoff_cap_s,
+                   cfg.backoff_base_s * (2 ** max(0, attempt - 2)))
+        jitter = random.Random(f"{cfg.seed}:{index}:{attempt}").uniform(
+            0.0, cfg.jitter_frac)
+        return base * (1.0 + jitter)
+
+    def _spawn_worker(self, result_queue: Any, telemetry_queue: Any) -> int:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        task_queue = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(worker_id, task_queue, result_queue,
+                  self.config.fault_plan, self.config.heartbeat_interval_s,
+                  telemetry_queue),
+            daemon=True,
+        )
+        proc.start()
+        self._workers[worker_id] = proc
+        self._queues[worker_id] = task_queue
+        self._idle.append(worker_id)
+        return worker_id
+
+    def _kill_worker(self, worker_id: int) -> None:
+        proc = self._workers.pop(worker_id, None)
+        task_queue = self._queues.pop(worker_id, None)
+        if worker_id in self._idle:
+            self._idle.remove(worker_id)
+        if proc is not None:
+            if proc.is_alive():
+                proc.kill()  # SIGKILL: works on SIGSTOPped processes too
+            proc.join(timeout=5)
+        if task_queue is not None:
+            # An undelivered task must not block the feeder at teardown.
+            with contextlib.suppress(Exception):
+                task_queue.cancel_join_thread()
+                task_queue.close()
+
+    def _shutdown(self) -> None:
+        for worker_id in list(self._workers):
+            self._kill_worker(worker_id)
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        tasks: Sequence[Any],
+        jobs: int,
+        telemetry_queue: Any = None,
+    ) -> Iterator[tuple[int, Any]]:
+        """Execute tasks, yielding ``(index, record-or-exception)``.
+
+        Yields in completion order (the sweep driver owns point ordering).
+        Every task index is yielded exactly once: a success record, a
+        failure record produced inside the worker, or
+        :class:`PointQuarantined` after escalation exhausts its attempts.
+        """
+        if not tasks:
+            return
+        cfg = self.config
+        tasks_by_index = {task.index: task for task in tasks}
+        attempts = {task.index: 0 for task in tasks}  # dispatches so far
+        completed: set[int] = set()
+        assigned: dict[int, _Assignment] = {}
+        #: Points awaiting (re)dispatch: (ready_at, seq, index).
+        pending: list[tuple[float, int, int]] = [
+            (0.0, order, task.index) for order, task in enumerate(tasks)]
+        heapq.heapify(pending)
+        seq = len(tasks)
+        result_queue = self._ctx.Queue()
+
+        def escalate(index: int, kind: str,
+                     detail: str) -> Optional[PointQuarantined]:
+            """Account one failed dispatch; requeue or quarantine."""
+            nonlocal seq
+            if index in completed:
+                return None
+            attempt = attempts[index]
+            if attempt >= cfg.max_attempts:
+                self._event(
+                    f"quarantined point {index} after {attempt} "
+                    f"attempts ({kind}: {detail})")
+                return PointQuarantined(
+                    f"point abandoned after {attempt} attempts "
+                    f"({kind}: {detail})",
+                    details={"kind": kind, "attempts": attempt,
+                             "quarantined": True},
+                )
+            delay = self._backoff_delay(index, attempt + 1)
+            self._event(
+                f"requeueing point {index} (attempt "
+                f"{attempt + 1}/{cfg.max_attempts}, {kind}, "
+                f"backoff {delay:.2f}s)")
+            seq += 1
+            heapq.heappush(pending, (time.monotonic() + delay, seq, index))
+            return None
+
+        try:
+            for _ in range(min(jobs, len(tasks))):
+                self._spawn_worker(result_queue, telemetry_queue)
+
+            while len(completed) < len(tasks):
+                now = time.monotonic()
+                # Dispatch: parent-side assignment *before* the queue put,
+                # so a worker frozen mid-accept is still accountable.
+                while pending and pending[0][0] <= now and self._idle:
+                    _ready, _seq, index = heapq.heappop(pending)
+                    if index in completed:
+                        continue
+                    worker_id = self._idle.pop()
+                    attempts[index] += 1
+                    assigned[worker_id] = _Assignment(
+                        index=index, attempt=attempts[index], last_seen=now)
+                    self._queues[worker_id].put(
+                        (tasks_by_index[index], attempts[index]))
+
+                if self.degraded and not self._workers:
+                    yield from self._run_serially(tasks_by_index, completed)
+                    return
+
+                # Drain everything already queued, then one blocking poll —
+                # so a chatty pool cannot starve the deadline checks below.
+                messages: list[tuple] = []
+                while True:
+                    try:
+                        messages.append(result_queue.get_nowait())
+                    except queue_mod.Empty:
+                        break
+                if not messages:
+                    try:
+                        messages.append(
+                            result_queue.get(timeout=cfg.poll_interval_s))
+                    except queue_mod.Empty:
+                        pass
+                for message in messages:
+                    kind, worker_id = message[0], message[1]
+                    assignment = assigned.get(worker_id)
+                    if assignment is not None:
+                        assignment.last_seen = time.monotonic()
+                    if kind == "done":
+                        index, record = message[2], message[3]
+                        assigned.pop(worker_id, None)
+                        if (worker_id in self._workers
+                                and worker_id not in self._idle):
+                            self._idle.append(worker_id)
+                        if index not in completed:
+                            completed.add(index)
+                            yield index, record
+                    elif kind == "error":
+                        index, detail = message[2], message[3]
+                        assigned.pop(worker_id, None)
+                        if (worker_id in self._workers
+                                and worker_id not in self._idle):
+                            self._idle.append(worker_id)
+                        quarantine = escalate(index, "worker-error", detail)
+                        if quarantine is not None:
+                            completed.add(index)
+                            yield index, quarantine
+
+                now = time.monotonic()
+                # Hang detection: assigned worker silent past the deadline.
+                if cfg.deadline_s is not None:
+                    for worker_id in list(assigned):
+                        assignment = assigned[worker_id]
+                        silent = now - assignment.last_seen
+                        if silent <= cfg.deadline_s:
+                            continue
+                        self._event(
+                            f"worker {worker_id} missed its heartbeat "
+                            f"deadline on point {assignment.index} "
+                            f"({silent:.1f}s silent); killing")
+                        assigned.pop(worker_id, None)
+                        self._kill_worker(worker_id)
+                        self.worker_deaths += 1
+                        quarantine = escalate(
+                            assignment.index, "worker-hang",
+                            f"no heartbeat for {silent:.1f}s")
+                        if quarantine is not None:
+                            completed.add(assignment.index)
+                            yield assignment.index, quarantine
+                        self._maybe_respawn(result_queue, telemetry_queue)
+
+                # Crash detection: a worker process that died outright.
+                for worker_id, proc in list(self._workers.items()):
+                    if proc.is_alive():
+                        continue
+                    exitcode = proc.exitcode
+                    assignment = assigned.pop(worker_id, None)
+                    self._kill_worker(worker_id)
+                    self.worker_deaths += 1
+                    if assignment is not None:
+                        self._event(
+                            f"worker {worker_id} died on point "
+                            f"{assignment.index} (exitcode {exitcode})")
+                        quarantine = escalate(
+                            assignment.index, "worker-crash",
+                            f"worker exitcode {exitcode}")
+                        if quarantine is not None:
+                            completed.add(assignment.index)
+                            yield assignment.index, quarantine
+                    else:
+                        self._event(
+                            f"idle worker {worker_id} died "
+                            f"(exitcode {exitcode})")
+                    self._maybe_respawn(result_queue, telemetry_queue)
+        finally:
+            self._shutdown()
+
+    def _maybe_respawn(self, result_queue: Any, telemetry_queue: Any) -> None:
+        """Replace a dead worker, or trip the serial-degradation switch."""
+        if self.worker_deaths >= self.config.degrade_after:
+            if not self.degraded:
+                self.degraded = True
+                self._event(
+                    f"pool degraded to serial after "
+                    f"{self.worker_deaths} worker deaths")
+            for worker_id in list(self._workers):
+                self._kill_worker(worker_id)
+            return
+        self._spawn_worker(result_queue, telemetry_queue)
+
+    def _run_serially(
+        self,
+        tasks_by_index: dict[int, Any],
+        completed: set[int],
+    ) -> Iterator[tuple[int, Any]]:
+        """Degraded mode: finish the remaining points in the parent.
+
+        Worker-site faults never fire here — they are tripped only by the
+        supervised worker wrapper, which arms the plan per worker process
+        — so a plan that keeps killing workers cannot take the parent
+        down with it.
+        """
+        from repro.experiments.parallel import _run_point_task
+
+        for index in sorted(set(tasks_by_index) - completed):
+            try:
+                _index, record = _run_point_task(tasks_by_index[index])
+            except Exception as exc:
+                completed.add(index)
+                yield index, exc
+                continue
+            completed.add(index)
+            yield index, record

@@ -1,0 +1,33 @@
+"""Bad: fragile persistence I/O and silenced failures (SL008 × 5)."""
+
+import json
+import os
+
+
+def save_summary(path, payload):
+    with open(path, "w", encoding="utf-8") as fh:  # torn on crash
+        json.dump(payload, fh)
+
+
+def append_row(path, line):
+    with open(path, "a", encoding="utf-8") as fh:  # torn on crash
+        fh.write(line + "\n")
+
+
+def export_json(out, payload):
+    out.write_text(json.dumps(payload))  # non-atomic replace
+
+
+def read_or_ignore(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return fh.read()
+    except:  # noqa: E722  — also catches KeyboardInterrupt
+        return None
+
+
+def best_effort_cleanup(path):
+    try:
+        os.remove(path)
+    except OSError:
+        pass  # the failure vanishes without a trace

@@ -1,0 +1,44 @@
+"""Good: atomic persistence and explicit, narrow error handling."""
+
+import json
+import os
+
+
+def save_summary(path, payload):
+    # Write-temp / fsync / rename: a crash leaves the old file intact.
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def append_row(path, line):
+    from repro.resilience.atomic import append_line
+
+    append_line(path, line)
+
+
+def export_json(out, payload):
+    from repro.resilience.atomic import atomic_write
+
+    atomic_write(out, json.dumps(payload))
+
+
+def read_or_none(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return fh.read()
+    except OSError as exc:
+        print(f"unreadable {path}: {exc}")
+        return None
+
+
+def drain_telemetry(queue, record):
+    try:
+        queue.put(record)
+    except Exception:  # simlint: ignore[SL008]
+        # Deliberate: a dying telemetry channel must never take the
+        # producing simulation down with it.
+        pass

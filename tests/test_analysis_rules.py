@@ -204,7 +204,7 @@ class TestSL005FrozenConfig:
 
 class TestSL006PaperGolden:
     def test_bad_fixture_fires_every_drift_mode(self):
-        result = run_lint([BAD / "experiments"])
+        result = run_lint([BAD / "experiments"], rule_codes=["SL006"])
         assert by_rule(result) == {"SL006": 6}
         messages = " | ".join(f.message for f in result.findings)
         assert "figure99() has no GOLDEN entry" in messages
@@ -252,6 +252,45 @@ class TestSL007HotPathSlots:
         assert run_lint([GOOD / "sm" / "state.py"]).clean
 
 
+class TestSL008RobustIO:
+    def test_bad_fixture_fires(self):
+        result = run_lint([BAD / "experiments" / "robust_io.py"])
+        assert by_rule(result) == {"SL008": 5}
+        messages = " | ".join(f.message for f in result.findings)
+        assert "bare 'except:'" in messages
+        assert "pass-only handler" in messages
+        assert "open(..., 'w')" in messages
+        assert "append_line" in messages  # the 'a'-mode fix
+        assert "write_text" in messages
+
+    def test_silent_outside_persistence_packages(self, tmp_path):
+        target = tmp_path / "robust_io.py"
+        target.write_text((BAD / "experiments" / "robust_io.py").read_text())
+        assert run_lint([target]).clean
+
+    def test_temp_then_rename_is_exempt(self, tmp_path):
+        # The atomic pattern itself must not fire (the good fixture's
+        # save_summary), even though it opens with mode "w".
+        registry_dir = tmp_path / "registry"
+        registry_dir.mkdir()
+        target = registry_dir / "writer.py"
+        target.write_text(textwrap.dedent("""\
+            import json
+            import os
+
+
+            def save(path, payload):
+                tmp = f"{path}.tmp.{os.getpid()}"
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    json.dump(payload, fh)
+                os.replace(tmp, path)
+        """))
+        assert run_lint([target]).clean
+
+    def test_good_fixture_clean_including_suppression(self):
+        assert run_lint([GOOD / "experiments" / "robust_io.py"]).clean
+
+
 class TestFixtureTrees:
     def test_bad_tree_totals(self):
         result = run_lint([BAD])
@@ -263,6 +302,7 @@ class TestFixtureTrees:
             "SL005": 3,
             "SL006": 6,
             "SL007": 3,
+            "SL008": 5,
         }
 
     def test_good_tree_is_clean(self):
@@ -329,6 +369,7 @@ class TestEngineBehaviour:
         assert payload["summary"]["by_rule"] == {"SL005": 3}
         assert set(payload["rules"]) == {
             "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
+            "SL008",
         }
         for finding in payload["findings"]:
             assert set(finding) == {"path", "line", "col", "rule", "message"}

@@ -146,7 +146,7 @@ class TestParallelSweepIdentity:
         assert serial.read_bytes() == parallel.read_bytes()
 
     def test_worker_crash_becomes_failure_record(self, tmp_path, monkeypatch):
-        def dead_pool(tasks, jobs, heartbeat_queue=None):
+        def dead_pool(tasks, jobs, heartbeat_queue=None, supervisor=None):
             for task in tasks:
                 yield task.index, MemoryError("worker OOM-killed")
 
