@@ -3,7 +3,7 @@
 Exit codes follow the linter convention:
 
 * ``0`` — every linted file is clean (after suppressions);
-* ``1`` — at least one finding;
+* ``1`` — at least one finding, or a failed isolation verification;
 * ``2`` — the linter itself failed (unreadable path, unknown rule code,
   a rule crashed) via :class:`~repro.errors.LintError`.
 """
@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 from pathlib import Path
 from typing import Optional
 
@@ -33,17 +34,33 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="files or directories to lint (default: the repro package)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (default: text)",
+        "--format", choices=("text", "json", "github"), default="text",
+        help="output format (default: text; github emits workflow commands)",
     )
     parser.add_argument(
-        "--rules", default=None, metavar="CODES",
+        "--rules", "--select", dest="rules", default=None, metavar="CODES",
         help="comma-separated rule subset, e.g. SL001,SL003 (default: all)",
     )
     parser.add_argument(
         "--verify-against-runtime", action="store_true",
         help="run a smoke simulation and cross-check SL003's static counter "
              "view against the counters the simulator actually emits",
+    )
+    parser.add_argument(
+        "--isolation-report", default=None, metavar="FILE",
+        help="write the deterministic SM-isolation report (effect analysis "
+             "behind SL009) to FILE as JSON",
+    )
+    parser.add_argument(
+        "--verify-isolation", action="store_true",
+        help="run a 2-SM smoke simulation with write instrumentation and "
+             "reconcile the dynamic per-SM write sets against the static "
+             "isolation classification",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print run statistics (files, rules, findings, elapsed, parse "
+             "cache) to stderr",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -58,7 +75,9 @@ def _print_rule_listing() -> None:
         print(f"  {rule.code:<{width}}  {rule.title}")
     print("\nSuppress one line with '# simlint: ignore[CODE]' "
           "(or a bare '# simlint: ignore' for all rules); skip a whole file "
-          "with '# simlint: skip-file' in its first five lines.")
+          "with '# simlint: skip-file' in its first five lines. Declare a "
+          "class a legal cross-SM channel with '# simlint: boundary[reason]' "
+          "on its 'class' line (consumed by SL009's effect analysis).")
 
 
 def _print_text(result: LintResult) -> None:
@@ -78,6 +97,41 @@ def _print_text(result: LintResult) -> None:
               f"{check['smoke_point']['config']}, "
               f"{len(check['missing_at_runtime'])} missing at runtime, "
               f"{len(check['undeclared_at_runtime'])} undeclared in tree")
+    if result.isolation_check is not None:
+        check = result.isolation_check
+        status = "ok" if check["ok"] else "FAILED"
+        print(f"isolation check: {status} — {check['dynamic_writes']} dynamic "
+              f"writes over {check['num_sms']} SMs, "
+              f"{len(check['static_missed'])} unclassified, "
+              f"{len(check['illegal_dynamic'])} cross-SM outside the boundary, "
+              f"{len(check['stale_boundary'])} stale boundary class(es)")
+
+
+def _print_github(result: LintResult) -> None:
+    """GitHub workflow commands — annotates the PR diff in Actions runs."""
+    for finding in result.findings:
+        print(f"::error file={finding.path},line={finding.line},"
+              f"col={finding.col + 1},title=simlint {finding.rule}::"
+              f"{finding.message}")
+    counts = ", ".join(f"{code}: {n}" for code, n in result.by_rule().items())
+    if result.findings:
+        print(f"{len(result.findings)} finding(s) in "
+              f"{result.files_scanned} file(s) ({counts})")
+    else:
+        print(f"clean: {result.files_scanned} file(s), "
+              f"{len(result.rules)} rule(s), 0 findings")
+
+
+def _print_stats(result: LintResult) -> None:
+    stats = result.run_stats
+    print(
+        f"simlint stats: files={stats.get('files', 0)} "
+        f"rules={stats.get('rules', 0)} findings={stats.get('findings', 0)} "
+        f"elapsed_s={stats.get('elapsed_s', 0.0)} "
+        f"parse_cache_hits={stats.get('parse_cache_hits', 0)} "
+        f"parse_cache_misses={stats.get('parse_cache_misses', 0)}",
+        file=sys.stderr,
+    )
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -94,8 +148,27 @@ def cmd_lint(args: argparse.Namespace) -> int:
         from repro.analysis.runtime_check import verify_against_runtime
 
         verify_against_runtime(result)
+    if getattr(args, "isolation_report", None):
+        from repro.analysis.effects import isolation_report_for
+
+        report = isolation_report_for(result.project)
+        Path(args.isolation_report).write_text(
+            json.dumps(report, indent=2) + "\n"
+        )
+    isolation_failed = False
+    if getattr(args, "verify_isolation", False):
+        from repro.analysis.effects.sanitizer import verify_isolation
+
+        verify_isolation(result)
+        isolation_failed = not (
+            result.isolation_check is not None and result.isolation_check["ok"]
+        )
     if args.format == "json":
         print(json.dumps(result.as_json_dict(), indent=2, sort_keys=True))
+    elif args.format == "github":
+        _print_github(result)
     else:
         _print_text(result)
-    return 1 if result.findings else 0
+    if getattr(args, "stats", False):
+        _print_stats(result)
+    return 1 if (result.findings or isolation_failed) else 0

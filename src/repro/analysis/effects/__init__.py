@@ -1,0 +1,50 @@
+"""Interprocedural attribute-effect analysis proving SM isolation.
+
+Public entry points:
+
+- :func:`analyze_project` — run (and memoise) the three-stage analysis
+  over an engine :class:`~repro.analysis.engine.Project`.
+- :func:`build_isolation_report` — the deterministic JSON report behind
+  ``python -m repro lint --isolation-report``.
+
+The analysis classifies every mutable location reachable from the per-SM
+cycle loop as SM-private, L2/DRAM-boundary (classes annotated with
+``# simlint: boundary[reason]``) or illegally shared; SL009/SL010 and the
+``--verify-isolation`` runtime sanitizer are built on top of it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analysis.engine import Project
+
+from repro.analysis.effects.extract import extract_module
+from repro.analysis.effects.model import ModuleIR, ProjectEffects
+from repro.analysis.effects.ownership import analyze_modules
+from repro.analysis.effects.report import build_isolation_report, is_waived
+
+__all__ = [
+    "ModuleIR",
+    "ProjectEffects",
+    "analyze_project",
+    "build_isolation_report",
+    "is_waived",
+    "isolation_report_for",
+]
+
+
+def analyze_project(project: Project) -> ProjectEffects:
+    """Extract + resolve the whole project, memoised on the Project."""
+    cached = project.effects_cache
+    if isinstance(cached, ProjectEffects):
+        return cached
+    modules = [extract_module(info) for info in project.modules]
+    effects = analyze_modules(modules)
+    project.effects_cache = effects
+    return effects
+
+
+def isolation_report_for(project: Project) -> dict[str, Any]:
+    """Convenience: analyse ``project`` and build its isolation report."""
+    return build_isolation_report(analyze_project(project))

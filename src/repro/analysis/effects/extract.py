@@ -1,0 +1,625 @@
+"""Lower parsed modules into the effect IR (:mod:`repro.analysis.effects.model`).
+
+One pass per module, purely syntactic: the extractor tracks local aliases
+(``stats = self._stats``), fan-out loops (a ``for`` whose iterable mentions
+``num_sms``), container mutations (including through subscript aliases and
+``heapq``), and records every call with enough symbolic context for the
+ownership pass to resolve it later. It never imports or executes the code
+under analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import replace
+from typing import Optional, Sequence, Union
+
+from repro.analysis.engine import ModuleInfo
+
+from repro.analysis.effects.model import (
+    OPAQUE,
+    UNTYPED,
+    ArgInfo,
+    CallSite,
+    ClassIR,
+    GlobalWriteRec,
+    MethodIR,
+    ModuleIR,
+    Origin,
+    TypeRef,
+    WriteRec,
+)
+
+#: Method names that mutate builtin containers. A call through one of these
+#: is a container write unless the receiver resolves to a project class that
+#: defines the method itself (``TagArray.insert`` vs ``list.insert``).
+CONTAINER_MUTATORS = frozenset(
+    {
+        "append", "appendleft", "extend", "extendleft", "insert", "add",
+        "discard", "remove", "update", "setdefault", "pop", "popitem",
+        "popleft", "clear", "sort", "reverse", "rotate", "move_to_end",
+    }
+)
+
+#: Container accessors whose result is an *element* of the receiver.
+CONTAINER_ACCESSORS = frozenset({"get", "pop", "popleft", "popitem"})
+
+_HEAPQ_MUTATORS = frozenset(
+    {"heappush", "heappop", "heapify", "heapreplace", "heappushpop"}
+)
+
+#: Calls to these bare names are builtins, not project constructors.
+_BUILTINS = frozenset(
+    {
+        "abs", "all", "any", "bool", "bytes", "callable", "chr", "dict",
+        "divmod", "enumerate", "filter", "float", "format", "frozenset",
+        "getattr", "hasattr", "hash", "id", "int", "isinstance",
+        "issubclass", "iter", "len", "list", "map", "max", "min", "next",
+        "object", "open", "ord", "print", "property", "range", "repr",
+        "reversed", "round", "set", "setattr", "sorted", "str", "sum",
+        "tuple", "type", "vars", "zip", "bin", "hex", "oct", "pow",
+        "delattr", "slice", "memoryview", "complex",
+    }
+)
+
+#: Constructor calls producing mutable builtin containers (for SL010).
+_MUTABLE_FACTORIES = frozenset(
+    {"dict", "list", "set", "bytearray", "OrderedDict", "defaultdict", "deque", "Counter"}
+)
+
+_FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def parse_annotation(node: Optional[ast.expr]) -> TypeRef:
+    """Normalise an annotation expression to a :class:`TypeRef`.
+
+    ``Optional[X]``/``X | None`` unwrap to ``X``; ``list[X]``/``dict[K, V]``
+    and friends become element types; anything else degrades to untyped.
+    """
+    if node is None:
+        return UNTYPED
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return UNTYPED
+    if isinstance(node, ast.Name):
+        if node.id == "None":
+            return UNTYPED
+        return TypeRef(direct=node.id)
+    if isinstance(node, ast.Attribute):
+        return TypeRef(direct=node.attr)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left = parse_annotation(node.left)
+        return left if left != UNTYPED else parse_annotation(node.right)
+    if isinstance(node, ast.Subscript):
+        base = node.value
+        base_name = base.id if isinstance(base, ast.Name) else (
+            base.attr if isinstance(base, ast.Attribute) else ""
+        )
+        inner = node.slice
+        if base_name == "Optional":
+            return parse_annotation(inner)
+        if base_name in ("list", "List", "deque", "Deque", "set", "Set",
+                         "frozenset", "FrozenSet", "Sequence", "Iterable",
+                         "Iterator", "tuple", "Tuple"):
+            elt = inner.elts[0] if isinstance(inner, ast.Tuple) and inner.elts else inner
+            return TypeRef(elem=parse_annotation(elt).direct)
+        if base_name in ("dict", "Dict", "OrderedDict", "DefaultDict",
+                         "defaultdict", "Mapping", "MutableMapping"):
+            if isinstance(inner, ast.Tuple) and len(inner.elts) == 2:
+                return TypeRef(elem=parse_annotation(inner.elts[1]).direct)
+            return UNTYPED
+    return UNTYPED
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        return name in _MUTABLE_FACTORIES
+    return False
+
+
+def _decorator_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+class _MethodExtractor:
+    """Walk one function body, producing its :class:`MethodIR`."""
+
+    def __init__(
+        self,
+        func: _FuncDef,
+        module_ir: ModuleIR,
+        in_class: bool,
+    ) -> None:
+        self.ir = MethodIR(name=func.name, lineno=func.lineno)
+        self.module_ir = module_ir
+        args = func.args
+        all_args = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        if in_class and all_args and all_args[0].arg in ("self", "cls"):
+            all_args = all_args[1:]
+        self.ir.params = tuple(a.arg for a in [*args.posonlyargs, *args.args]
+                               if a.arg not in ("self", "cls"))
+        for a in all_args:
+            self.ir.param_types[a.arg] = parse_annotation(a.annotation)
+        self.ir.return_type = parse_annotation(func.returns)
+        self.ir.is_property = any(
+            _decorator_name(d) in ("property", "cached_property")
+            for d in func.decorator_list
+        )
+        defaults = list(args.defaults)
+        pos = [*args.posonlyargs, *args.args]
+        for arg_node, default in zip(pos[len(pos) - len(defaults):], defaults):
+            if _is_mutable_literal(default):
+                self.ir.mutable_defaults.append((arg_node.arg, default.lineno))
+        for arg_node, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+            if kw_default is not None and _is_mutable_literal(kw_default):
+                self.ir.mutable_defaults.append((arg_node.arg, kw_default.lineno))
+
+        self.in_class = in_class
+        self.env: dict[str, Origin] = {}
+        self.declared_global: set[str] = set()
+        self.fanout_depth = 0
+        self.fanout_locals: set[str] = set()
+        self.loop_vars: set[str] = set()
+        self.walk(func.body)
+
+    # -- name resolution ------------------------------------------------
+
+    def lookup(self, name: str) -> Origin:
+        if name in self.env:
+            return self.env[name]
+        if name == "self" and self.in_class:
+            return Origin("self")
+        if name in self.ir.param_types:
+            return Origin("param", name=name)
+        if name in self.declared_global or name in self.module_ir.module_globals:
+            return Origin("global", name=name)
+        return OPAQUE
+
+    # -- statements -----------------------------------------------------
+
+    def walk(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.stmt(stmt)
+
+    def stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Assign):
+            value = self.expr(node.value)
+            for target in node.targets:
+                self.assign_target(target, value, node.value)
+        elif isinstance(node, ast.AnnAssign):
+            ann = parse_annotation(node.annotation)
+            value = self.expr(node.value) if node.value is not None else OPAQUE
+            target = node.target
+            if (isinstance(target, ast.Attribute) and
+                    isinstance(target.value, ast.Name) and target.value.id == "self"):
+                self.ir.self_ann_fields[target.attr] = ann
+            self.assign_target(target, value, node.value)
+        elif isinstance(node, ast.AugAssign):
+            self.expr(node.value)
+            target = node.target
+            if isinstance(target, ast.Attribute):
+                owner = self.expr_target(target.value)
+                self.record_write(owner, target.attr, "aug", target)
+            elif isinstance(target, ast.Subscript):
+                self.container_write(self.expr_target(target.value), target)
+                self.expr(target.slice)
+            elif isinstance(target, ast.Name):
+                origin = self.lookup(target.id)
+                if origin.kind == "global":
+                    self.record_global(origin.name, "aug", target)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    self.container_write(self.expr_target(target.value), target)
+                    self.expr(target.slice)
+                elif isinstance(target, ast.Attribute):
+                    owner = self.expr_target(target.value)
+                    self.record_write(owner, target.attr, "attr", target)
+        elif isinstance(node, ast.Expr):
+            self.expr(node.value)
+        elif isinstance(node, ast.For):
+            self.for_stmt(node)
+        elif isinstance(node, ast.AsyncFor):
+            self.expr(node.iter)
+            self.bind_loop_target(node.target, OPAQUE)
+            self.walk(node.body)
+            self.walk(node.orelse)
+        elif isinstance(node, ast.While):
+            self.expr(node.test)
+            self.walk(node.body)
+            self.walk(node.orelse)
+        elif isinstance(node, ast.If):
+            self.expr(node.test)
+            self.walk(node.body)
+            self.walk(node.orelse)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                ctx = self.expr(item.context_expr)
+                if item.optional_vars is not None:
+                    self.assign_target(item.optional_vars, ctx, None)
+            self.walk(node.body)
+        elif isinstance(node, ast.Try):
+            self.walk(node.body)
+            for handler in node.handlers:
+                if handler.name:
+                    self.env[handler.name] = OPAQUE
+                self.walk(handler.body)
+            self.walk(node.orelse)
+            self.walk(node.finalbody)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                self.expr(node.value)
+        elif isinstance(node, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.expr(child)
+        elif isinstance(node, ast.Global):
+            self.declared_global.update(node.names)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            pass  # nested definitions: out of scope for the effect summary
+        # Pass/Break/Continue/Import/Nonlocal: nothing to record.
+
+    def for_stmt(self, node: ast.For) -> None:
+        iter_origin = self.expr(node.iter)
+        try:
+            fanout = "num_sms" in ast.unparse(node.iter)
+        except Exception:
+            fanout = False
+        if fanout:
+            self.bind_loop_target(node.target, None)
+            self.fanout_depth += 1
+            before = set(self.env)
+            self.walk(node.body)
+            self.fanout_locals.update(set(self.env) - before)
+            self.fanout_depth -= 1
+        else:
+            elem = (Origin("elem", base=iter_origin)
+                    if iter_origin.kind != "opaque" else OPAQUE)
+            self.bind_loop_target(node.target, elem)
+            self.walk(node.body)
+        self.walk(node.orelse)
+
+    def bind_loop_target(self, target: ast.expr, origin: Optional[Origin]) -> None:
+        """Bind loop variable(s); ``origin=None`` marks a fan-out loop var."""
+        if isinstance(target, ast.Name):
+            if origin is None:
+                self.loop_vars.add(target.id)
+                self.env[target.id] = Origin("loopvar", name=target.id)
+            else:
+                self.env[target.id] = origin
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self.bind_loop_target(elt, OPAQUE if origin is None else origin)
+
+    def assign_target(
+        self,
+        target: ast.expr,
+        value: Origin,
+        value_node: Optional[ast.expr],
+    ) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in self.declared_global:
+                self.record_global(target.id, "rebind", target)
+            else:
+                self.env[target.id] = value
+                if self.fanout_depth:
+                    self.fanout_locals.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            owner = self.expr_target(target.value)
+            self.record_write(owner, target.attr, "attr", target, value=value)
+        elif isinstance(target, ast.Subscript):
+            self.container_write(self.expr_target(target.value), target)
+            self.expr(target.slice)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            if isinstance(value_node, ast.Tuple) and len(value_node.elts) == len(target.elts):
+                for sub, elt in zip(target.elts, value_node.elts):
+                    self.assign_target(sub, self.lookup_cached(elt), elt)
+            else:
+                for sub in target.elts:
+                    self.assign_target(sub, OPAQUE, None)
+        elif isinstance(target, ast.Starred):
+            self.assign_target(target.value, OPAQUE, None)
+
+    def lookup_cached(self, node: ast.expr) -> Origin:
+        """Origin of an already-scanned expression (no double recording)."""
+        if isinstance(node, ast.Name):
+            return self.lookup(node.id)
+        return OPAQUE
+
+    # -- writes ----------------------------------------------------------
+
+    def record_write(
+        self,
+        owner: Origin,
+        attr: str,
+        kind: str,
+        node: ast.expr,
+        value: Optional[Origin] = None,
+    ) -> None:
+        if owner.kind == "opaque":
+            return
+        self.ir.writes.append(
+            WriteRec(owner, attr, kind, node.lineno, node.col_offset, value=value)
+        )
+
+    def container_write(self, receiver: Origin, node: ast.expr) -> None:
+        resolved = container_target(receiver)
+        if resolved is None:
+            return
+        owner, attr = resolved
+        if owner.kind == "global":
+            self.record_global(owner.name, "container", node)
+            return
+        if owner.kind == "opaque":
+            return
+        self.ir.writes.append(
+            WriteRec(owner, attr, "container", node.lineno, node.col_offset)
+        )
+
+    def record_global(self, name: str, kind: str, node: ast.expr) -> None:
+        hint = self.module_ir.imported.get(name, ("", name))[0]
+        self.ir.global_writes.append(
+            GlobalWriteRec(name, hint, kind, node.lineno, node.col_offset)
+        )
+
+    # -- expressions -----------------------------------------------------
+
+    def expr_target(self, node: ast.expr) -> Origin:
+        """Origin of a write-target's owner expression (records reads too)."""
+        return self.expr(node)
+
+    def expr(self, node: Optional[ast.expr]) -> Origin:
+        if node is None:
+            return OPAQUE
+        if isinstance(node, ast.Name):
+            return self.lookup(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.expr(node.value)
+            if base.kind == "self" and not base.chain:
+                self.ir.reads.add(node.attr)
+            if base.kind == "opaque":
+                return OPAQUE
+            return base.hop(node.attr)
+        if isinstance(node, ast.Subscript):
+            base = self.expr(node.value)
+            self.expr(node.slice)
+            if base.kind == "opaque":
+                return OPAQUE
+            index = node.slice.id if isinstance(node.slice, ast.Name) else ""
+            return Origin("elem", base=base, index_name=index)
+        if isinstance(node, ast.Call):
+            return self.call(node)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            for gen in node.generators:
+                iter_origin = self.expr(gen.iter)
+                elem = (Origin("elem", base=iter_origin)
+                        if iter_origin.kind != "opaque" else OPAQUE)
+                self.bind_loop_target(gen.target, elem)
+                for cond in gen.ifs:
+                    self.expr(cond)
+            if isinstance(node, ast.DictComp):
+                self.expr(node.key)
+                self.expr(node.value)
+            else:
+                self.expr(node.elt)
+            return OPAQUE
+        if isinstance(node, ast.Lambda):
+            return OPAQUE  # lambda bodies in hot code are SL002's problem
+        if isinstance(node, (ast.BoolOp, ast.BinOp, ast.UnaryOp, ast.Compare,
+                             ast.IfExp, ast.Starred, ast.JoinedStr,
+                             ast.FormattedValue, ast.Tuple, ast.List, ast.Set,
+                             ast.Dict, ast.Await, ast.NamedExpr, ast.Slice)):
+            if isinstance(node, ast.NamedExpr):
+                value = self.expr(node.value)
+                self.assign_target(node.target, value, node.value)
+                return value
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.expr(child)
+            return OPAQUE
+        return OPAQUE
+
+    def call(self, node: ast.Call) -> Origin:
+        args: list[ArgInfo] = []
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                self.expr(arg.value)
+                continue
+            args.append(self.arg_info(arg))
+        for kw in node.keywords:
+            if kw.arg is None:
+                self.expr(kw.value)
+                continue
+            info = self.arg_info(kw.value)
+            args.append(ArgInfo(info.origin, keyword=kw.arg, per_sm=info.per_sm))
+
+        func = node.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name == "super":
+                return Origin("super")
+            if name in self.env or name in self.ir.param_types:
+                receiver = self.lookup(name)
+                self.add_call(CallSite(
+                    "value", receiver=receiver, method="__call__",
+                    args=tuple(args), fanout=self.fanout_depth > 0,
+                    lineno=node.lineno, col=node.col_offset,
+                ))
+                return Origin("rmeth", base=receiver, name="__call__")
+            if name in _BUILTINS:
+                return OPAQUE
+            self.add_call(CallSite(
+                "name", callee=name, args=tuple(args),
+                fanout=self.fanout_depth > 0,
+                lineno=node.lineno, col=node.col_offset,
+            ))
+            return Origin("rname", name=name)
+        if isinstance(func, ast.Attribute):
+            if (isinstance(func.value, ast.Name) and func.value.id == "heapq"
+                    and func.attr in _HEAPQ_MUTATORS):
+                if args:
+                    self.container_write(args[0].origin, node)
+                return OPAQUE
+            receiver = self.expr(func.value)
+            if receiver.kind == "opaque":
+                return OPAQUE
+            self.add_call(CallSite(
+                "method", receiver=receiver, method=func.attr,
+                args=tuple(args), fanout=self.fanout_depth > 0,
+                maybe_container=func.attr in CONTAINER_MUTATORS,
+                lineno=node.lineno, col=node.col_offset,
+            ))
+            return Origin("rmeth", base=receiver, name=func.attr)
+        receiver = self.expr(func)
+        if receiver.kind != "opaque":
+            self.add_call(CallSite(
+                "value", receiver=receiver, method="__call__",
+                args=tuple(args), fanout=self.fanout_depth > 0,
+                lineno=node.lineno, col=node.col_offset,
+            ))
+            return Origin("rmeth", base=receiver, name="__call__")
+        return OPAQUE
+
+    def arg_info(self, node: ast.expr) -> ArgInfo:
+        origin = self.expr(node)
+        per_sm = False
+        if self.fanout_depth:
+            if origin.kind == "loopvar":
+                per_sm = True
+            elif isinstance(node, ast.Call):
+                per_sm = True
+            elif (isinstance(node, ast.Name) and node.id in self.fanout_locals):
+                per_sm = True
+            elif (origin.kind == "elem" and not origin.chain
+                  and origin.index_name in self.loop_vars):
+                per_sm = True
+        return ArgInfo(origin, per_sm=per_sm)
+
+    def add_call(self, site: CallSite) -> None:
+        self.ir.calls.append(site)
+
+
+def container_target(origin: Origin) -> Optional[tuple[Origin, str]]:
+    """The ``(owner, attr)`` location that holds a mutated container.
+
+    ``self._sets[i].move_to_end(...)`` and aliases thereof resolve to
+    ``(self, "_sets")``; mutating an untracked object resolves to ``None``.
+    """
+    current = origin
+    while True:
+        if current.chain:
+            return replace(current, chain=current.chain[:-1]), current.chain[-1]
+        if current.kind == "elem" and current.base is not None:
+            current = current.base
+            continue
+        if current.kind == "opaque":
+            return None
+        return current, ""
+
+
+def extract_module(info: ModuleInfo) -> ModuleIR:
+    """Lower one parsed module into its effect IR."""
+    ir = ModuleIR(info=info)
+    for stmt in info.tree.body:
+        if isinstance(stmt, ast.ImportFrom):
+            module = ("." * stmt.level) + (stmt.module or "")
+            for alias in stmt.names:
+                local = alias.asname or alias.name
+                ir.imported[local] = (module, alias.name)
+                ir.module_globals.add(local)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                ir.module_globals.add(local)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                for name_node in ast.walk(target):
+                    if isinstance(name_node, ast.Name):
+                        ir.module_globals.add(name_node.id)
+                        if (_is_mutable_literal(stmt.value)
+                                and not name_node.id.startswith("__")):
+                            ir.module_mutables[name_node.id] = stmt.lineno
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            ir.module_globals.add(stmt.target.id)
+            if (stmt.value is not None and _is_mutable_literal(stmt.value)
+                    and not stmt.target.id.startswith("__")):
+                ir.module_mutables[stmt.target.id] = stmt.lineno
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            ir.module_globals.add(stmt.name)
+        elif isinstance(stmt, ast.ClassDef):
+            ir.module_globals.add(stmt.name)
+
+    for stmt in info.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            ir.functions[stmt.name] = _MethodExtractor(stmt, ir, in_class=False).ir
+        elif isinstance(stmt, ast.ClassDef):
+            ir.classes.append(_extract_class(stmt, ir, info))
+    return ir
+
+
+def _extract_class(node: ast.ClassDef, module_ir: ModuleIR, info: ModuleInfo) -> ClassIR:
+    bases = tuple(
+        base.id if isinstance(base, ast.Name) else
+        base.attr if isinstance(base, ast.Attribute) else ""
+        for base in node.bases
+    )
+    is_dataclass = False
+    is_frozen = False
+    for deco in node.decorator_list:
+        if _decorator_name(deco) == "dataclass":
+            is_dataclass = True
+            if isinstance(deco, ast.Call):
+                for kw in deco.keywords:
+                    if (kw.arg == "frozen" and isinstance(kw.value, ast.Constant)
+                            and kw.value.value is True):
+                        is_frozen = True
+    cls = ClassIR(
+        name=node.name,
+        module=info,
+        lineno=node.lineno,
+        bases=bases,
+        boundary_reason=info.boundaries.get(node.lineno),
+        is_dataclass=is_dataclass,
+        is_frozen=is_frozen,
+    )
+    if "NamedTuple" in bases:
+        is_dataclass = cls.is_dataclass = True
+        cls.is_frozen = True
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            cls.methods[stmt.name] = _MethodExtractor(stmt, module_ir, in_class=True).ir
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            attr = stmt.target.id
+            cls.ann_fields[attr] = parse_annotation(stmt.annotation)
+            if isinstance(stmt.value, ast.Call):
+                func = stmt.value.func
+                if isinstance(func, ast.Name) and func.id == "field":
+                    for kw in stmt.value.keywords:
+                        if kw.arg == "default_factory" and isinstance(kw.value, ast.Name):
+                            cls.dataclass_factories[attr] = kw.value.id
+            if (not is_dataclass and stmt.value is not None
+                    and _is_mutable_literal(stmt.value)
+                    and not attr.startswith("__")):
+                cls.class_mutable_attrs.append((attr, stmt.lineno))
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if (isinstance(target, ast.Name)
+                        and _is_mutable_literal(stmt.value)
+                        and not target.id.startswith("__")):
+                    cls.class_mutable_attrs.append((target.id, stmt.lineno))
+    return cls

@@ -1,0 +1,261 @@
+"""Data model for the interprocedural effect analysis behind SL009/SL010.
+
+The analysis runs in three stages (see :mod:`repro.analysis.effects`):
+
+1. :mod:`extract` lowers every module into the symbolic IR defined here —
+   per-method write records, call sites and aliasing facts expressed as
+   :class:`Origin` access paths, never as live Python objects.
+2. :mod:`ownership` resolves origins against class/field type tables,
+   assigns every class an ownership value on the lattice
+   ``unknown → {per_sm, shared, boundary} → mixed`` and walks the call
+   graph from the SM cycle roots, tagging each node with the execution
+   context it is reached under.
+3. :mod:`report` folds the classified writes into the deterministic
+   isolation report consumed by ``--isolation-report`` and CI.
+
+Everything in this module is plain data: no AST nodes escape extraction,
+so the downstream passes and the report are trivially deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from repro.analysis.engine import ModuleInfo
+
+# --- Class ownership lattice -------------------------------------------------
+OWN_UNKNOWN = "unknown"
+OWN_PER_SM = "per_sm"
+OWN_SHARED = "shared"
+OWN_BOUNDARY = "boundary"
+OWN_MIXED = "mixed"
+
+# --- Execution-context tags on call-graph nodes ------------------------------
+TAG_PRIVATE = "private"
+TAG_BOUNDARY = "boundary"
+TAG_SHARED = "shared"
+
+# --- Per-location classifications -------------------------------------------
+CLS_SM_PRIVATE = "sm_private"
+CLS_BOUNDARY = "boundary"
+CLS_ILLEGAL = "illegal_shared"
+CLS_UNRESOLVED = "unresolved"
+
+
+@dataclass(frozen=True)
+class Origin:
+    """Symbolic origin of a runtime value within one method body.
+
+    ``kind`` roots the access path:
+
+    - ``self``     — the receiver of the enclosing method
+    - ``param``    — a parameter (``name``)
+    - ``loopvar``  — the loop variable of a fan-out loop (``name``)
+    - ``global``   — a module-level name (``name``)
+    - ``super``    — ``super()`` inside a method
+    - ``rname``    — result of calling a bare name (class or function)
+    - ``rmeth``    — result of a method call on ``base``
+    - ``elem``     — an element of the container ``base`` (``index_name``
+      keeps the subscript index when it was a bare name)
+    - ``opaque``   — anything the extractor does not track
+
+    ``chain`` is the sequence of attribute hops applied after the root.
+    """
+
+    kind: str
+    name: str = ""
+    chain: tuple[str, ...] = ()
+    base: Optional["Origin"] = None
+    index_name: str = ""
+
+    def hop(self, attr: str) -> "Origin":
+        return replace(self, chain=self.chain + (attr,))
+
+    def render(self) -> str:
+        """Human-readable path for diagnostics, e.g. ``self._subsystem.events``."""
+        if self.kind == "self":
+            root = "self"
+        elif self.kind in ("param", "loopvar", "global"):
+            root = self.name
+        elif self.kind == "super":
+            root = "super()"
+        elif self.kind == "rname":
+            root = f"{self.name}()"
+        elif self.kind == "rmeth":
+            base = self.base.render() if self.base else "?"
+            root = f"{base}.{self.name}()"
+        elif self.kind == "elem":
+            base = self.base.render() if self.base else "?"
+            root = f"{base}[...]"
+        else:
+            root = "?"
+        return ".".join((root, *self.chain)) if self.chain else root
+
+
+OPAQUE = Origin("opaque")
+
+
+@dataclass(frozen=True)
+class TypeRef:
+    """A resolved-enough type: a project class and/or a container element."""
+
+    direct: Optional[str] = None
+    elem: Optional[str] = None
+
+
+UNTYPED = TypeRef()
+
+
+@dataclass(frozen=True)
+class WriteRec:
+    """One attribute/container mutation: ``target``.``attr`` ``<kind>``-written.
+
+    ``kind`` is ``attr`` (plain assignment), ``aug`` (augmented assignment),
+    ``container`` (mutation of the container held in ``attr``; ``attr`` may
+    be ``""`` when the mutated object itself is the target, e.g. a
+    subscript-assign through a bare parameter) or ``ctor`` (synthesised
+    dataclass-``__init__`` field write). ``value`` keeps the RHS origin of
+    plain assignments for field typing and bound-method binding detection.
+    """
+
+    target: Origin
+    attr: str
+    kind: str
+    lineno: int
+    col: int
+    value: Optional[Origin] = None
+    ann: TypeRef = UNTYPED
+
+
+@dataclass(frozen=True)
+class GlobalWriteRec:
+    """A rebind or container mutation of a module-level name."""
+
+    name: str
+    module_hint: str
+    kind: str
+    lineno: int
+    col: int
+
+
+@dataclass(frozen=True)
+class ArgInfo:
+    origin: Origin
+    keyword: str = ""
+    per_sm: bool = False
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression.
+
+    ``kind`` is ``name`` (bare-name call — constructor or function, decided
+    during resolution), ``method`` (attribute call on ``receiver``) or
+    ``value`` (calling a tracked local/parameter value — dispatches to the
+    resolved type's ``__call__``). ``maybe_container`` marks method names
+    that collide with builtin container mutators (``insert``, ``pop``, …);
+    resolution treats them as container writes only when the receiver does
+    not resolve to a project class defining the method.
+    """
+
+    kind: str
+    callee: str = ""
+    receiver: Optional[Origin] = None
+    method: str = ""
+    args: tuple[ArgInfo, ...] = ()
+    fanout: bool = False
+    maybe_container: bool = False
+    lineno: int = 0
+    col: int = 0
+
+
+@dataclass
+class MethodIR:
+    """Effect summary of one function or method body."""
+
+    name: str
+    lineno: int
+    params: tuple[str, ...] = ()
+    param_types: dict[str, TypeRef] = field(default_factory=dict)
+    return_type: TypeRef = UNTYPED
+    is_property: bool = False
+    writes: list[WriteRec] = field(default_factory=list)
+    global_writes: list[GlobalWriteRec] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    reads: set[str] = field(default_factory=set)
+    self_ann_fields: dict[str, TypeRef] = field(default_factory=dict)
+    mutable_defaults: list[tuple[str, int]] = field(default_factory=list)
+
+
+@dataclass
+class ClassIR:
+    """Effect summary of one class definition."""
+
+    name: str
+    module: "ModuleInfo"
+    lineno: int
+    bases: tuple[str, ...] = ()
+    boundary_reason: Optional[str] = None
+    is_dataclass: bool = False
+    is_frozen: bool = False
+    methods: dict[str, MethodIR] = field(default_factory=dict)
+    ann_fields: dict[str, TypeRef] = field(default_factory=dict)
+    dataclass_factories: dict[str, str] = field(default_factory=dict)
+    class_mutable_attrs: list[tuple[str, int]] = field(default_factory=list)
+
+
+@dataclass
+class ModuleIR:
+    """Effect summary of one module."""
+
+    info: "ModuleInfo"
+    classes: list[ClassIR] = field(default_factory=list)
+    functions: dict[str, MethodIR] = field(default_factory=dict)
+    module_mutables: dict[str, int] = field(default_factory=dict)
+    imported: dict[str, tuple[str, str]] = field(default_factory=dict)
+    module_globals: set[str] = field(default_factory=set)
+
+
+@dataclass(frozen=True)
+class ClassifiedWrite:
+    """One write record after resolution: where, what, and its verdict."""
+
+    cls: str
+    attr: str
+    classification: str
+    kind: str
+    writer: str
+    path: str
+    lineno: int
+    col: int
+    tag: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class UnresolvedCall:
+    """A call (or write target) the analysis could not type."""
+
+    caller: str
+    expr: str
+    path: str
+    lineno: int
+
+
+@dataclass
+class ProjectEffects:
+    """Everything the report, SL009 and SL010 need, fully resolved."""
+
+    modules: list[ModuleIR]
+    classes: dict[str, ClassIR]
+    subclasses: dict[str, set[str]]
+    ownership: dict[str, str]
+    field_types: dict[tuple[str, str], TypeRef]
+    sm_classes: list[str]
+    roots: list[tuple[str, str]]
+    node_tags: dict[tuple[str, str], set[str]]
+    writes: list[ClassifiedWrite]
+    global_writes: list[ClassifiedWrite]
+    unresolved: list[UnresolvedCall]

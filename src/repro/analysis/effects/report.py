@@ -1,0 +1,180 @@
+"""Deterministic isolation-report JSON for ``--isolation-report`` and CI.
+
+The report is a pure function of the analysed source tree: every list is
+sorted, paths are repo-relative display paths, and nothing time- or
+environment-dependent is emitted, so two runs over the same tree are
+byte-identical — which is what lets CI diff the committed baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.analysis.engine import ModuleInfo
+
+from repro.analysis.effects.model import (
+    CLS_BOUNDARY,
+    CLS_ILLEGAL,
+    CLS_SM_PRIVATE,
+    ClassifiedWrite,
+    ProjectEffects,
+)
+
+#: Bump when the report layout changes incompatibly.
+REPORT_SCHEMA_VERSION = 1
+
+
+def is_waived(module: Optional[ModuleInfo], line: int, code: str) -> bool:
+    """True when ``# simlint: ignore[code]`` covers ``line`` in ``module``."""
+    if module is None:
+        return False
+    for probe in (line, module.decorator_owner.get(line, line)):
+        codes = module.suppressions.get(probe)
+        if codes is not None and (not codes or code in codes):
+            return True
+    return False
+
+
+def _module_by_path(effects: ProjectEffects) -> dict[str, ModuleInfo]:
+    return {m.info.display_path: m.info for m in effects.modules}
+
+
+def _violation_entries(
+    effects: ProjectEffects, code: str = "SL009"
+) -> list[dict[str, Any]]:
+    by_path = _module_by_path(effects)
+    entries: dict[tuple[str, int, int, str, str], dict[str, Any]] = {}
+    for write in (*effects.writes, *effects.global_writes):
+        if write.classification != CLS_ILLEGAL:
+            continue
+        key = (write.path, write.lineno, write.col, write.cls, write.attr)
+        if key in entries:
+            continue
+        target = f"{write.cls}.{write.attr}" if write.attr else write.cls
+        entries[key] = {
+            "target": target,
+            "kind": write.kind,
+            "writer": write.writer,
+            "path": write.path,
+            "line": write.lineno,
+            "col": write.col,
+            "waived": is_waived(by_path.get(write.path), write.lineno, code),
+            "detail": write.detail or (
+                f"write to shared state `{target}` reachable from the "
+                f"per-SM cycle path via {write.writer}"
+            ),
+        }
+    return [entries[key] for key in sorted(entries)]
+
+
+def _location_entries(effects: ProjectEffects) -> list[dict[str, Any]]:
+    grouped: dict[tuple[str, str], dict[str, Any]] = {}
+    for write in effects.writes:
+        entry = grouped.setdefault(
+            (write.cls, write.attr),
+            {"classifications": set(), "kinds": set(), "writers": set(), "sites": set()},
+        )
+        entry["classifications"].add(write.classification)
+        entry["kinds"].add(write.kind)
+        entry["writers"].add(write.writer)
+        entry["sites"].add((write.path, write.lineno))
+    out: list[dict[str, Any]] = []
+    for (cls, attr), entry in sorted(grouped.items()):
+        out.append(
+            {
+                "class": cls,
+                "attr": attr,
+                "classifications": sorted(entry["classifications"]),
+                "kinds": sorted(entry["kinds"]),
+                "writers": sorted(entry["writers"]),
+                "sites": [
+                    {"path": path, "line": line}
+                    for path, line in sorted(entry["sites"])
+                ],
+            }
+        )
+    return out
+
+
+def build_isolation_report(effects: ProjectEffects) -> dict[str, Any]:
+    """Fold classified writes into the machine-readable isolation report."""
+    locations = _location_entries(effects)
+    violations = _violation_entries(effects)
+
+    boundary_exercised = {
+        loc["class"] for loc in locations
+        if CLS_BOUNDARY in loc["classifications"]
+    }
+    boundary: list[dict[str, Any]] = []
+    for name in sorted(effects.classes):
+        cls = effects.classes[name]
+        if cls.boundary_reason is None:
+            continue
+        boundary.append(
+            {
+                "class": name,
+                "path": cls.module.display_path,
+                "line": cls.lineno,
+                "reason": cls.boundary_reason,
+                "statically_exercised": name in boundary_exercised,
+            }
+        )
+
+    def count(classification: str) -> int:
+        return sum(
+            1 for loc in locations if classification in loc["classifications"]
+        )
+
+    unwaived = [v for v in violations if not v["waived"]]
+    return {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "tool": "simlint-isolation",
+        "roots": [f"{cls}.{meth}" for cls, meth in sorted(effects.roots)],
+        "sm_classes": list(effects.sm_classes),
+        "ownership": {
+            name: effects.ownership[name] for name in sorted(effects.ownership)
+        },
+        "boundary": boundary,
+        "locations": locations,
+        "violations": violations,
+        "unresolved": [
+            {
+                "caller": item.caller,
+                "expr": item.expr,
+                "path": item.path,
+                "line": item.lineno,
+            }
+            for item in effects.unresolved
+        ],
+        "summary": {
+            "locations": len(locations),
+            "sm_private": count(CLS_SM_PRIVATE),
+            "boundary": count(CLS_BOUNDARY),
+            "illegal_shared": count(CLS_ILLEGAL),
+            "violations": len(violations),
+            "unwaived_violations": len(unwaived),
+            "unresolved": len(effects.unresolved),
+        },
+    }
+
+
+def static_write_index(effects: ProjectEffects) -> dict[tuple[str, str], set[str]]:
+    """``(class, attr) -> classification set`` for sanitizer reconciliation.
+
+    Only ``setattr``-visible write kinds are indexed under their attribute;
+    container mutations never pass through ``__setattr__`` so the runtime
+    sanitizer cannot observe them.
+    """
+    index: dict[tuple[str, str], set[str]] = {}
+    for write in effects.writes:
+        index.setdefault((write.cls, write.attr), set()).add(write.classification)
+    return index
+
+
+def illegal_writes(effects: ProjectEffects) -> list[ClassifiedWrite]:
+    """All illegal-shared write records (SL009's finish pass)."""
+    return [
+        write
+        for write in (*effects.writes, *effects.global_writes)
+        if write.classification == CLS_ILLEGAL
+    ]

@@ -15,6 +15,7 @@ from __future__ import annotations
 import abc
 import ast
 import re
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, ClassVar, Iterable, Mapping, Optional, Sequence
@@ -32,18 +33,35 @@ HOT_PACKAGES = frozenset({"sm", "mem", "sched", "prefetch", "core", "integrity",
 
 _SUPPRESS_RE = re.compile(r"#\s*simlint:\s*ignore(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?")
 _SKIP_FILE_RE = re.compile(r"#\s*simlint:\s*skip-file")
+#: ``# simlint: boundary[reason]`` on a class-definition line declares the
+#: class part of the allowed shared set (L2/DRAM boundary) for the effect
+#: analysis behind SL009 / ``--isolation-report``.
+_BOUNDARY_RE = re.compile(r"#\s*simlint:\s*boundary\[(?P<reason>[^\]]*)\]")
 
 
 @dataclass
 class ModuleInfo:
-    """One parsed source file plus the metadata rules key off."""
+    """One parsed source file plus the metadata rules key off.
+
+    Parsed once per file and shared by every rule of a run (and across
+    runs in one process via the mtime/size-keyed module cache), so rules
+    never re-read or re-split a source file themselves: use ``lines``
+    instead of ``source.splitlines()``.
+    """
 
     path: Path
     display_path: str
     source: str
     tree: ast.Module
+    #: ``source.splitlines()``, computed once and shared by all rules.
+    lines: tuple[str, ...] = ()
     #: Per-line suppressions: line number -> rule codes (empty set = all rules).
     suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: ``# simlint: boundary[reason]`` declarations: line number -> reason.
+    boundaries: dict[int, str] = field(default_factory=dict)
+    #: Decorator line -> line of the decorated ``def``/``class``, so a
+    #: suppression on the definition line covers decorator-anchored findings.
+    decorator_owner: dict[int, int] = field(default_factory=dict)
 
     @property
     def is_hot(self) -> bool:
@@ -61,6 +79,11 @@ class Project:
     """All modules of one lint run, for cross-module rules."""
 
     modules: list[ModuleInfo]
+    #: Memoised result of :func:`repro.analysis.effects.analyze_project`,
+    #: shared between SL009's project pass, ``--isolation-report`` and
+    #: ``--verify-isolation`` so the interprocedural analysis runs once.
+    #: Typed ``Any`` to keep the engine import-free of the effects package.
+    effects_cache: Optional[Any] = field(default=None, repr=False, compare=False)
 
     def by_directory(self) -> dict[Path, list[ModuleInfo]]:
         """Group modules by parent directory (≈ by package)."""
@@ -129,6 +152,11 @@ class LintResult:
     project: Project
     #: Populated by the CLI when ``--verify-against-runtime`` ran.
     runtime_check: Optional[dict[str, Any]] = None
+    #: Populated by the CLI when ``--verify-isolation`` ran.
+    isolation_check: Optional[dict[str, Any]] = None
+    #: Run statistics (files / rules / findings / elapsed / parse cache),
+    #: printed by ``--stats``; not part of the stable JSON schema.
+    run_stats: dict[str, Any] = field(default_factory=dict, compare=False)
 
     @property
     def clean(self) -> bool:
@@ -150,17 +178,20 @@ class LintResult:
             "findings": [f.as_dict() for f in self.findings],
             "summary": {"total": len(self.findings), "by_rule": self.by_rule()},
             "runtime_check": self.runtime_check,
+            "isolation_check": self.isolation_check,
         }
 
 
-def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+def parse_suppressions(lines: Sequence[str]) -> dict[int, frozenset[str]]:
     """Map line numbers to suppressed rule codes.
 
     ``# simlint: ignore`` suppresses every rule on its line;
     ``# simlint: ignore[SL001, SL003]`` suppresses just those codes.
     """
     suppressions: dict[int, frozenset[str]] = {}
-    for lineno, text in enumerate(source.splitlines(), start=1):
+    for lineno, text in enumerate(lines, start=1):
+        if "simlint" not in text:
+            continue
         match = _SUPPRESS_RE.search(text)
         if match is None:
             continue
@@ -174,8 +205,42 @@ def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
     return suppressions
 
 
+def parse_boundaries(lines: Sequence[str]) -> dict[int, str]:
+    """Map line numbers carrying ``# simlint: boundary[reason]`` to the reason."""
+    boundaries: dict[int, str] = {}
+    for lineno, text in enumerate(lines, start=1):
+        if "simlint" not in text:
+            continue
+        match = _BOUNDARY_RE.search(text)
+        if match is not None:
+            boundaries[lineno] = match.group("reason").strip()
+    return boundaries
+
+
+def _decorator_owners(tree: ast.Module) -> dict[int, int]:
+    """Map every decorator line to the line of its ``def``/``class``.
+
+    A ``# simlint: ignore[...]`` on a decorated definition line then also
+    covers findings that rules anchor to the decorator expressions above it
+    (SL002/SL007 report at decorator nodes for decorator-related findings).
+    """
+    owners: dict[int, int] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        for decorator in node.decorator_list:
+            end = getattr(decorator, "end_lineno", None) or decorator.lineno
+            for lineno in range(decorator.lineno, end + 1):
+                owners[lineno] = node.lineno
+    return owners
+
+
 def _is_suppressed(finding: Finding, module: ModuleInfo) -> bool:
     codes = module.suppressions.get(finding.line)
+    if codes is None:
+        owner = module.decorator_owner.get(finding.line)
+        if owner is not None:
+            codes = module.suppressions.get(owner)
     if codes is None:
         return False
     return not codes or finding.rule in codes
@@ -210,9 +275,19 @@ def _display_path(path: Path) -> str:
         return str(path)
 
 
-def load_module(path: Path) -> "ModuleInfo | Finding":
-    """Parse one file; a syntax error becomes an ``SL000`` finding."""
-    display = _display_path(path)
+#: Process-wide parse cache: resolved path -> ((mtime_ns, size), entry).
+#: Repeated lint runs in one process (the CLI runs the engine once for the
+#: rules, again for ``--isolation-report``, and tests call ``run_lint``
+#: dozens of times) parse each unchanged file exactly once.
+_MODULE_CACHE: dict[Path, tuple[tuple[int, int], "ModuleInfo | Finding"]] = {}
+
+
+def clear_module_cache() -> None:
+    """Drop the process-wide parse cache (tests that rewrite files)."""
+    _MODULE_CACHE.clear()
+
+
+def _load_uncached(path: Path, display: str) -> "ModuleInfo | Finding":
     try:
         source = path.read_text(encoding="utf-8")
     except (OSError, UnicodeDecodeError) as exc:
@@ -223,17 +298,63 @@ def load_module(path: Path) -> "ModuleInfo | Finding":
     except SyntaxError as exc:
         return Finding(display, exc.lineno or 1, (exc.offset or 1) - 1,
                        PARSE_RULE, f"file does not parse: {exc.msg}")
+    lines = tuple(source.splitlines())
     return ModuleInfo(
         path=path,
         display_path=display,
         source=source,
         tree=tree,
-        suppressions=parse_suppressions(source),
+        lines=lines,
+        suppressions=parse_suppressions(lines),
+        boundaries=parse_boundaries(lines),
+        decorator_owner=_decorator_owners(tree),
     )
 
 
+def load_module(path: Path, cache_stats: Optional[dict[str, int]] = None) -> "ModuleInfo | Finding":
+    """Parse one file; a syntax error becomes an ``SL000`` finding.
+
+    Results are cached per resolved path, keyed by ``(mtime_ns, size)``, so
+    every rule — and every subsequent run in this process — shares one AST
+    and one pre-split line list per file.
+    """
+    display = _display_path(path)
+    try:
+        resolved = path.resolve()
+        stat = resolved.stat()
+    except OSError as exc:
+        raise LintError(f"cannot read {display}: {exc}",
+                        details={"path": display}) from exc
+    stamp = (stat.st_mtime_ns, stat.st_size)
+    cached = _MODULE_CACHE.get(resolved)
+    if cached is not None and cached[0] == stamp:
+        if cache_stats is not None:
+            cache_stats["hits"] = cache_stats.get("hits", 0) + 1
+        entry = cached[1]
+        if entry.display_path == display:
+            return entry
+        # Same parse, different cwd: reshare the AST under the new display.
+        if isinstance(entry, Finding):
+            return Finding(display, entry.line, entry.col, entry.rule, entry.message)
+        return ModuleInfo(
+            path=path,
+            display_path=display,
+            source=entry.source,
+            tree=entry.tree,
+            lines=entry.lines,
+            suppressions=entry.suppressions,
+            boundaries=entry.boundaries,
+            decorator_owner=entry.decorator_owner,
+        )
+    if cache_stats is not None:
+        cache_stats["misses"] = cache_stats.get("misses", 0) + 1
+    loaded = _load_uncached(path, display)
+    _MODULE_CACHE[resolved] = (stamp, loaded)
+    return loaded
+
+
 def default_rules() -> list[Rule]:
-    """Fresh instances of every registered rule (SL001–SL008)."""
+    """Fresh instances of every registered rule (SL001–SL010)."""
     from repro.analysis.rules import build_all_rules
 
     return build_all_rules()
@@ -248,6 +369,7 @@ def run_lint(
     ``rule_codes`` restricts the run to a subset of rules; unknown codes
     raise :class:`~repro.errors.LintError` (exit code 2 at the CLI).
     """
+    started = time.perf_counter()
     rules = default_rules()
     available: Mapping[str, Rule] = {rule.code: rule for rule in rules}
     if rule_codes is not None:
@@ -261,15 +383,15 @@ def run_lint(
         rules = [available[code] for code in dict.fromkeys(wanted)]
 
     files = discover_files([Path(p) for p in paths])
+    cache_stats: dict[str, int] = {"hits": 0, "misses": 0}
     modules: list[ModuleInfo] = []
     findings: list[Finding] = []
     for path in files:
-        loaded = load_module(path)
+        loaded = load_module(path, cache_stats=cache_stats)
         if isinstance(loaded, Finding):
             findings.append(loaded)
             continue
-        if any(_SKIP_FILE_RE.search(line)
-               for line in loaded.source.splitlines()[:5]):
+        if any(_SKIP_FILE_RE.search(line) for line in loaded.lines[:5]):
             continue
         modules.append(loaded)
 
@@ -299,9 +421,18 @@ def run_lint(
             continue
         findings.append(finding)
 
+    findings = sorted(findings)
     return LintResult(
-        findings=sorted(findings),
+        findings=findings,
         files_scanned=len(files),
         rules={rule.code: rule.title for rule in rules},
         project=project,
+        run_stats={
+            "files": len(files),
+            "rules": len(rules),
+            "findings": len(findings),
+            "elapsed_s": round(time.perf_counter() - started, 4),
+            "parse_cache_hits": cache_stats["hits"],
+            "parse_cache_misses": cache_stats["misses"],
+        },
     )

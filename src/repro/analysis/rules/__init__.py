@@ -1,4 +1,4 @@
-"""Built-in simlint rules (SL001–SL008).
+"""Built-in simlint rules (SL001–SL010).
 
 Each rule lives in its own module and registers here. ``build_all_rules``
 returns fresh instances for one engine run — rules carry per-run state
@@ -13,11 +13,13 @@ from repro.analysis.engine import Rule
 from repro.analysis.rules.counters import CounterHygieneRule
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.frozen_config import FrozenConfigRule
+from repro.analysis.rules.global_state import GlobalStateRule
 from repro.analysis.rules.hotpath_slots import HotPathSlotsRule
 from repro.analysis.rules.paper_golden import PaperGoldenRule
 from repro.analysis.rules.picklability import PicklabilityRule
 from repro.analysis.rules.registries import RegistryCompletenessRule
 from repro.analysis.rules.robust_io import RobustIORule
+from repro.analysis.rules.shared_state import SharedStateRule
 
 #: Every registered rule class, in code order.
 ALL_RULES: tuple[type[Rule], ...] = (
@@ -29,6 +31,8 @@ ALL_RULES: tuple[type[Rule], ...] = (
     PaperGoldenRule,
     HotPathSlotsRule,
     RobustIORule,
+    SharedStateRule,
+    GlobalStateRule,
 )
 
 

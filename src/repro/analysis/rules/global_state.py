@@ -1,0 +1,127 @@
+"""SL010 — hidden global state in hot simulation packages.
+
+Global state is the enemy of both reproducibility (two runs in one
+process see each other through it) and the planned parallel cycle loop
+(worker processes silently fork diverging copies). Three patterns count
+as hidden globals, checked only in the hot packages
+(:data:`repro.analysis.engine.HOT_PACKAGES` — the code that runs inside
+or feeds the per-SM cycle loop):
+
+* a module-level mutable (``list``/``dict``/``set``/… literal) mutated
+  from inside a function or method — whether defined in the same module
+  or imported from another project module. Populating a registry at
+  module import time is fine; mutating it later from call paths is not.
+* a class-level mutable attribute on a non-dataclass — shared by every
+  instance, which reads like per-instance state and races like a global.
+* a mutable default argument — one shared object across all calls.
+
+Findings anchor at the mutation site (or declaration, for class attrs
+and defaults), so ``# simlint: ignore[SL010]`` plus a justification
+waives intentional cases.
+
+Like SL009 this is a ``finish`` rule: cross-module attribution (mutating
+an imported registry) needs every module's IR, which the memoised effect
+analysis already provides.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.analysis.effects import analyze_project
+from repro.analysis.effects.model import GlobalWriteRec, MethodIR, ModuleIR
+from repro.analysis.engine import ModuleInfo, Project, Reporter, Rule
+
+
+def _iter_bodies(ir: ModuleIR) -> Iterable[tuple[str, MethodIR]]:
+    """Every function/method body in a module, with a display name."""
+    for name, fn in ir.functions.items():
+        yield name, fn
+    for cls in ir.classes:
+        for mname, meth in cls.methods.items():
+            yield f"{cls.name}.{mname}", meth
+
+
+class GlobalStateRule(Rule):
+    code = "SL010"
+    title = "hidden global state in hot packages"
+
+    def check_module(self, module: ModuleInfo, reporter: Reporter) -> None:
+        """Per-module pass: nothing to do — SL010 runs in ``finish``."""
+
+    def finish(self, project: Project, reporter: Reporter) -> None:
+        effects = analyze_project(project)
+        #: module stem -> names of its module-level mutables, project-wide.
+        mutables_by_stem: dict[str, set[str]] = {}
+        for ir in effects.modules:
+            stem = ir.info.path.stem
+            mutables_by_stem.setdefault(stem, set()).update(ir.module_mutables)
+
+        for ir in effects.modules:
+            if not ir.info.is_hot:
+                continue
+            for writer, body in _iter_bodies(ir):
+                for gw in body.global_writes:
+                    origin = self._mutable_origin(ir, gw, mutables_by_stem)
+                    if origin is None:
+                        continue
+                    reporter.report(
+                        self.code,
+                        ir.info,
+                        None,
+                        f"module-level mutable `{origin}` is mutated from "
+                        f"`{writer}`; pass the state explicitly or move it "
+                        "onto an owning object",
+                        line=gw.lineno,
+                        col=gw.col,
+                    )
+            for cls in ir.classes:
+                for attr, lineno in cls.class_mutable_attrs:
+                    reporter.report(
+                        self.code,
+                        ir.info,
+                        None,
+                        f"class-level mutable attribute `{cls.name}.{attr}` "
+                        "is shared by every instance; initialise it in "
+                        "`__init__` instead",
+                        line=lineno,
+                        col=0,
+                    )
+            for writer, body in _iter_bodies(ir):
+                for pname, lineno in body.mutable_defaults:
+                    reporter.report(
+                        self.code,
+                        ir.info,
+                        None,
+                        f"mutable default for parameter `{pname}` of "
+                        f"`{writer}` is shared across calls; default to None "
+                        "and build a fresh object inside",
+                        line=lineno,
+                        col=0,
+                    )
+
+    @staticmethod
+    def _mutable_origin(
+        ir: ModuleIR,
+        gw: GlobalWriteRec,
+        mutables_by_stem: dict[str, set[str]],
+    ) -> Optional[str]:
+        """Render the mutated global, or None when it is not a known mutable.
+
+        ``global``-statement rebinds always count (rebinding module state
+        from a function is hidden global state regardless of the value's
+        type); container mutations count only when the name is a known
+        module-level mutable here or in the project module it was
+        imported from.
+        """
+        if gw.kind == "rebind":
+            return gw.name
+        if gw.name in ir.module_mutables:
+            return gw.name
+        imported = ir.imported.get(gw.name)
+        if imported is not None:
+            module, original = imported
+            stem = module.rsplit(".", 1)[-1].lstrip(".")
+            if original in mutables_by_stem.get(stem, set()):
+                return f"{stem}.{original}"
+        return None

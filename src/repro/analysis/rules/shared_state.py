@@ -1,0 +1,57 @@
+"""SL009 — cross-SM shared mutable state reachable from the cycle path.
+
+The whole point of the effect analysis (:mod:`repro.analysis.effects`) is
+to prove that parallelising the per-SM cycle loop cannot race: every
+mutable location an SM's ``cycle`` can reach must be either SM-private
+(one owning SM, by construction) or behind an explicitly declared
+boundary class (``# simlint: boundary[reason]`` — the L2/DRAM subsystem,
+the aggregated stats bundles, the epoch-serialized telemetry hub).
+
+SL009 fires on everything else: a write, reachable from ``SMCore.cycle``,
+whose receiver the ownership analysis proves is shared between SMs (or a
+module-level global mutated from the cycle path). Each finding is
+anchored at the write site, so ``# simlint: ignore[SL009]`` on that line
+waives it — but a waiver is a claim that the sharing is benign, so it
+deserves a justification comment.
+
+This rule is ``finish``-only: it needs the whole project loaded before
+the interprocedural walk can run. The analysis is memoised on the
+:class:`~repro.analysis.engine.Project`, so SL009 plus
+``--isolation-report`` in one invocation pay for a single walk.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.effects import analyze_project
+from repro.analysis.effects.report import illegal_writes
+from repro.analysis.engine import ModuleInfo, Project, Reporter, Rule
+
+
+class SharedStateRule(Rule):
+    code = "SL009"
+    title = "cross-SM shared mutable state reachable from the cycle path"
+
+    def check_module(self, module: ModuleInfo, reporter: Reporter) -> None:
+        """Per-module pass: nothing to do — SL009 is interprocedural."""
+
+    def finish(self, project: Project, reporter: Reporter) -> None:
+        effects = analyze_project(project)
+        by_path = {ir.info.display_path: ir.info for ir in effects.modules}
+        for write in illegal_writes(effects):
+            module = by_path.get(write.path)
+            if module is None:
+                continue
+            target = f"{write.cls}.{write.attr}" if write.attr else write.cls
+            detail = write.detail or (
+                f"`{write.writer}` writes shared state `{target}` "
+                f"({write.kind}) reachable from the per-SM cycle path"
+            )
+            reporter.report(
+                self.code,
+                module,
+                None,
+                f"{detail}; make the owner SM-private, mark its class "
+                "`# simlint: boundary[reason]`, or waive with a justification",
+                line=write.lineno,
+                col=write.col,
+            )

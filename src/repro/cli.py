@@ -1079,7 +1079,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit the fsck report as JSON on stdout")
 
     p_lint = sub.add_parser(
-        "lint", help="simulator-aware static analysis (simlint SL001-SL008)"
+        "lint", help="simulator-aware static analysis (simlint SL001-SL010)"
     )
     from repro.analysis.cli import add_lint_arguments
 

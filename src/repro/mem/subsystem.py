@@ -23,7 +23,7 @@ from repro.mem.l2 import L2Cache
 from repro.stats.counters import SimStats
 
 
-class EventQueue:
+class EventQueue:  # simlint: boundary[global event queue; drained serially each epoch]
     """Min-heap of ``(cycle, seq, callback)`` with FIFO tie-breaking."""
 
     __slots__ = ("_heap", "_seq", "processed")
@@ -87,7 +87,7 @@ class _L1MissForwarder:
         return self.subsystem.forward_miss(self.sm_id, line_addr, now)
 
 
-class MemorySubsystem:
+class MemorySubsystem:  # simlint: boundary[shared L2/DRAM front-end: the legal cross-SM channel]
     """L1s (one per SM) + shared L2 + DRAM + the global event queue."""
 
     __slots__ = ("_config", "_stats", "events", "dram", "l2", "l1s")

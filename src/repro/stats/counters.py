@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 
 @dataclass
-class CacheStats:
+class CacheStats:  # simlint: boundary[aggregated counters: merged per epoch, tolerant of ordering]
     """L1 data-cache counters (demand accesses unless noted)."""
 
     accesses: int = 0
@@ -83,7 +83,7 @@ class CacheStats:
 
 
 @dataclass
-class MemoryStats:
+class MemoryStats:  # simlint: boundary[aggregated counters: merged per epoch, tolerant of ordering]
     """Interconnect / DRAM counters."""
 
     #: Sum and count of demand load latencies (issue to data ready), hits included.
@@ -110,7 +110,7 @@ class MemoryStats:
 
 
 @dataclass
-class SimStats:
+class SimStats:  # simlint: boundary[aggregated counters: merged per epoch, tolerant of ordering]
     """Top-level statistics for one simulation run."""
 
     cycles: int = 0

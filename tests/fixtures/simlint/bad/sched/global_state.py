@@ -1,0 +1,23 @@
+"""SL010 known-bad: the three hidden-global patterns in a hot package."""
+
+_SEEN_WARPS = {}
+
+
+class QuotaTracker:
+    """Class-level mutable: one dict silently shared by every instance."""
+
+    __slots__ = ("name",)
+
+    quotas = {}  # finding: class-level mutable attribute
+
+    def __init__(self, name):
+        self.name = name
+
+
+def note_warp(warp_id, cycle):
+    _SEEN_WARPS[warp_id] = cycle  # finding: module-level mutable mutated
+
+
+def drain_warps(batch=[]):  # finding: mutable default argument
+    batch.extend(_SEEN_WARPS)
+    return batch

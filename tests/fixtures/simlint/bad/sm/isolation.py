@@ -1,0 +1,42 @@
+"""SL009 known-bad: per-SM cores mutating shared state from ``cycle``."""
+
+
+class ResultHub:
+    """Shared sink every core writes into — a cross-SM race in waiting."""
+
+    __slots__ = ("total_issued", "last_core", "pending")
+
+    def __init__(self):
+        self.total_issued = 0
+        self.last_core = -1
+        self.pending = []
+
+
+class IsoCore:
+    """One simulated SM; ``cycle`` is the per-SM root."""
+
+    __slots__ = ("core_id", "hub", "issued")
+
+    def __init__(self, core_id, hub):
+        self.core_id = core_id
+        self.hub = hub
+        self.issued = 0
+
+    def cycle(self, now):
+        self.issued += 1  # fine: SM-private
+        self.hub.total_issued += 1  # finding: shared aug write
+        self.hub.last_core = self.core_id  # finding: shared attr write
+        self.hub.pending.append(now)  # finding: shared container write
+        return True
+
+
+class IsoMachine:
+    """Fans the cores out; the loop bound marks them per-SM."""
+
+    __slots__ = ("cores", "hub")
+
+    def __init__(self, cfg, hub: ResultHub):
+        self.hub = hub
+        self.cores = []
+        for core_id in range(cfg.num_sms):
+            self.cores.append(IsoCore(core_id, hub))

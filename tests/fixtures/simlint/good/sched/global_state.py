@@ -1,0 +1,31 @@
+"""SL010 known-good twin: state owned by objects, populated at import."""
+
+#: Populated once at import time and treated as read-only afterwards.
+_WARP_KINDS = {"compute": 0, "memory": 1}
+
+
+class QuotaTracker:
+    """Per-instance state lives in ``__init__``."""
+
+    __slots__ = ("name", "quotas")
+
+    def __init__(self, name):
+        self.name = name
+        self.quotas = {}
+
+
+class WarpLog:
+    """The former module global, now an explicit owning object."""
+
+    __slots__ = ("seen",)
+
+    def __init__(self):
+        self.seen = {}
+
+    def note_warp(self, warp_id, cycle):
+        self.seen[warp_id] = cycle
+
+    def drain_warps(self, batch=None):
+        out = [] if batch is None else batch
+        out.extend(self.seen)
+        return out

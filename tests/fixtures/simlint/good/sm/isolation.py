@@ -1,0 +1,54 @@
+"""SL009 known-good twin: boundary-declared hub plus one waived write."""
+
+
+class ResultHub:  # simlint: boundary[aggregation hub: merged per epoch, ordering-tolerant]
+    """Shared sink, but declared as a legal cross-SM channel."""
+
+    __slots__ = ("total_issued", "last_core", "pending")
+
+    def __init__(self):
+        self.total_issued = 0
+        self.last_core = -1
+        self.pending = []
+
+
+class DebugProbe:
+    """Shared probe written only under a justified waiver."""
+
+    __slots__ = ("last_seen",)
+
+    def __init__(self):
+        self.last_seen = -1
+
+
+class IsoCore:
+    """One simulated SM; all its cycle writes are private, boundary or waived."""
+
+    __slots__ = ("core_id", "hub", "probe", "issued")
+
+    def __init__(self, core_id, hub, probe):
+        self.core_id = core_id
+        self.hub = hub
+        self.probe = probe
+        self.issued = 0
+
+    def cycle(self, now):
+        self.issued += 1  # SM-private
+        self.hub.total_issued += 1  # boundary class: allowed
+        self.hub.pending.append(now)  # boundary class: allowed
+        # Debug-only, torn values acceptable; removed before parallel runs.
+        self.probe.last_seen = now  # simlint: ignore[SL009]
+        return True
+
+
+class IsoMachine:
+    """Fans the cores out; the loop bound marks them per-SM."""
+
+    __slots__ = ("cores", "hub", "probe")
+
+    def __init__(self, cfg, hub: ResultHub, probe: DebugProbe):
+        self.hub = hub
+        self.probe = probe
+        self.cores = []
+        for core_id in range(cfg.num_sms):
+            self.cores.append(IsoCore(core_id, hub, probe))

@@ -84,7 +84,7 @@ class TestJsonOutput:
         )
         assert payload["summary"]["by_rule"] == {
             "SL001": 8, "SL002": 3, "SL003": 7, "SL004": 5, "SL005": 3,
-            "SL006": 6, "SL007": 3, "SL008": 5,
+            "SL006": 6, "SL007": 3, "SL008": 5, "SL009": 3, "SL010": 3,
         }
         assert payload["files_scanned"] >= 8
         assert payload["runtime_check"] is None
@@ -114,6 +114,21 @@ class TestFlags:
         for code in ("SL001", "SL002", "SL003", "SL004", "SL005"):
             assert code in proc.stdout
 
+    def test_select_is_an_alias_for_rules(self):
+        proc = run_cli(str(FIXTURES / "bad"), "--select", "SL003", "--format", "json")
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["summary"]["by_rule"] == {"SL003": 7}
+
+    def test_stats_line_on_stderr(self):
+        proc = run_cli(str(FIXTURES / "good"), "--stats")
+        assert proc.returncode == 0
+        assert "simlint stats:" in proc.stderr
+        for token in ("files=", "rules=", "findings=", "elapsed_s=",
+                      "parse_cache_hits=", "parse_cache_misses="):
+            assert token in proc.stderr
+        assert "simlint stats:" not in proc.stdout
+
     def test_verify_against_runtime(self):
         src = str(Path(SRC_DIR) / "repro")
         proc = run_cli(src, "--verify-against-runtime", "--format", "json")
@@ -124,3 +139,63 @@ class TestFlags:
         assert check["missing_at_runtime"] == []
         assert check["undeclared_at_runtime"] == []
         assert check["declared_counters"]
+
+
+class TestGithubFormat:
+    def test_findings_render_as_workflow_commands(self):
+        proc = run_cli(
+            str(FIXTURES / "bad" / "config_mutation.py"), "--format", "github"
+        )
+        assert proc.returncode == 1
+        commands = [
+            line for line in proc.stdout.splitlines() if line.startswith("::error ")
+        ]
+        assert len(commands) == 3
+        for command in commands:
+            assert "file=" in command and ",line=" in command and ",col=" in command
+            assert "title=simlint SL005::" in command
+
+    def test_parity_with_json(self):
+        json_proc = run_cli(str(FIXTURES / "bad"), "--format", "json")
+        gh_proc = run_cli(str(FIXTURES / "bad"), "--format", "github")
+        findings = json.loads(json_proc.stdout)["findings"]
+        commands = [
+            line for line in gh_proc.stdout.splitlines()
+            if line.startswith("::error ")
+        ]
+        assert len(commands) == len(findings)
+        for finding, command in zip(findings, commands):
+            assert f"file={finding['path']},line={finding['line']}," in command
+            assert f"title=simlint {finding['rule']}::" in command
+
+    def test_clean_tree_emits_no_commands(self):
+        proc = run_cli(str(FIXTURES / "good"), "--format", "github")
+        assert proc.returncode == 0
+        assert "::error" not in proc.stdout
+        assert "clean" in proc.stdout
+
+
+class TestIsolationReport:
+    def test_two_runs_are_byte_identical(self, tmp_path):
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        for target in (first, second):
+            proc = run_cli(
+                str(FIXTURES / "good" / "sm" / "isolation.py"),
+                "--isolation-report", str(target),
+            )
+            assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_report_content(self, tmp_path):
+        target = tmp_path / "isolation.json"
+        proc = run_cli(
+            str(FIXTURES / "good" / "sm" / "isolation.py"),
+            "--isolation-report", str(target),
+        )
+        assert proc.returncode == 0
+        report = json.loads(target.read_text())
+        assert report["tool"] == "simlint-isolation"
+        assert report["schema_version"] == 1
+        assert report["roots"] == ["IsoCore.cycle"]
+        assert report["summary"]["unwaived_violations"] == 0
