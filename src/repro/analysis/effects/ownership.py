@@ -177,7 +177,7 @@ class Analyzer:
             if tref.direct is None or tref.direct not in self.classes:
                 owner = cls.name if cls is not None else ""
                 inferred = self.param_concrete.get((f"{owner}.{meth.name}", origin.name))
-                if inferred is not None:
+                if inferred:  # "" marks sites that disagreed with no common base
                     tref = TypeRef(direct=inferred)
         elif kind == "super" and cls is not None:
             for base in cls.bases:
@@ -263,10 +263,35 @@ class Analyzer:
                         tref = self.resolve_tref(arg.origin, holder, meth)
                         if tref.direct in self.classes:
                             key = (f"{def_cls}.__init__", pname)
-                            if self.param_concrete.get(key) != tref.direct:
-                                self.param_concrete[key] = tref.direct
+                            joined = self._join_concrete(
+                                self.param_concrete.get(key), tref.direct
+                            )
+                            if self.param_concrete.get(key) != joined:
+                                self.param_concrete[key] = joined
                                 changed = True
         return changed
+
+    def _join_concrete(self, old: Optional[str], new: str) -> str:
+        """Join two inferred concrete param classes to a common ancestor.
+
+        Different construction sites may pass different implementations
+        (the serial engine's miss forwarder vs the shard proxy's);
+        last-writer-wins would silently drop one engine's call graph, so
+        disagreeing sites meet at their nearest shared project base class
+        instead — virtual dispatch then fans out to every subclass — or at
+        ``""`` (ambiguous: treated as untyped) when they share none. The
+        join only ever moves up the class lattice, so the fixpoint loop
+        in :meth:`build_tables` still converges.
+        """
+        if old is None or old == new:
+            return new
+        if old == "":
+            return ""
+        new_ancestors = set(self.mro(new))
+        for candidate in self.mro(old):
+            if candidate in new_ancestors:
+                return candidate
+        return ""
 
     def _iter_method_contexts(
         self, module: ModuleIR

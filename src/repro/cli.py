@@ -56,6 +56,18 @@ workers are killed after SEC silent seconds and their points requeued
 with capped jittered backoff, poisoned points are quarantined after N
 dispatches, and the pool degrades to serial if workers keep dying.
 
+``run``, ``figure`` and ``sweep`` accept ``--shards N`` to split the
+simulated GPU's SMs over N epoch-barrier shard workers inside each run
+(``--epoch-cycles E`` sets the barrier interval, ``--shard-backend``
+picks in-process or OS-process workers). ``E=1`` is lock-step and
+bit-identical to serial — same metrics, same registry run ids; larger
+``E`` (default 64) trades bounded fill-latency drift for speed and is
+recorded under its own engine tag so drifted statistics never mix with
+the serial lineage. Shards compose with ``--jobs`` only in-process:
+``--jobs`` owns the process budget, so ``--shard-backend process`` with
+a pool is refused, as are ``--telemetry``/``--trace-dir``/trace capture
+under shards.
+
 ``run``, ``sweep``, ``figure``, ``table`` and ``scorecard`` ingest their
 results into the registry (``bench_results/registry`` by default,
 ``REPRO_REGISTRY_DIR`` to relocate, ``--no-registry`` to skip), which is
@@ -210,14 +222,47 @@ def _stall_rows(report: dict) -> list:
     return rows
 
 
+def _resolve_shard_plan(args: argparse.Namespace, jobs: int = 1):
+    """The ShardPlan the ``--shards`` flags describe, or None (serial)."""
+    from repro.shard import resolve_plan
+
+    return resolve_plan(
+        getattr(args, "shards", None),
+        epoch_cycles=getattr(args, "epoch_cycles", None),
+        backend=getattr(args, "shard_backend", None),
+        jobs=jobs,
+    )
+
+
+def _print_shard_info(info: Optional[dict]) -> None:
+    if not info:
+        return
+    mode = "lock-step (bit-exact)" if info["bit_exact"] else "relaxed"
+    line = (f"shard engine: {info['shards']} shards x "
+            f"E={info['epoch_cycles']} {mode}, "
+            f"{info['windows_run']} windows")
+    if not info["bit_exact"]:
+        line += (f", {info['clamped_fills']} clamped fills "
+                 f"(max clamp {info['max_clamp_cycles']} cycles)")
+    if info.get("degraded"):
+        line += " [degraded to serial]"
+    elif info.get("attempts", 1) > 1:
+        line += f" [{info['attempts']} attempts]"
+    print(line)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     import time
 
+    from repro.shard import reject_unsupported
+
     hub = _build_run_hub(args)
+    plan = _resolve_shard_plan(args)
+    reject_unsupported(plan, telemetry=hub is not None)
     gpu_config = _limited_gpu_config(args)
     started = time.perf_counter()
     result = run(args.app, args.config, scale=args.scale,
-                 gpu_config=gpu_config, telemetry=hub)
+                 gpu_config=gpu_config, telemetry=hub, shard_plan=plan)
     wall_time_s = time.perf_counter() - started
     s = result.sim.stats
     rows = [
@@ -236,6 +281,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     ]
     print(format_table(["Metric", "Value"], rows,
                        title=f"{args.app} under {args.config} (scale={args.scale})"))
+    _print_shard_info(result.shard_info)
     if hub is not None:
         report = hub.reconcile(s)
         print()
@@ -255,6 +301,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         record = registry.put(run_record(
             result, args.scale, gpu_config,
             stalls=stalls, wall_time_s=wall_time_s,
+            engine_tag=plan.identity_tag if plan is not None else None,
         ))
         print(f"registry: {record.run_id} -> {registry.root}")
     return 0
@@ -435,9 +482,19 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     apps = args.apps or None
     name = f"figure{args.number}"
     from repro.experiments.parallel import figure_points
+    from repro.experiments.runner import set_default_shard_plan
 
-    _prewarm_points(figure_points(name, apps, args.scale), _resolved_jobs(args))
-    payload = getattr(figures, name)(apps, args.scale)
+    jobs = _resolved_jobs(args)
+    plan = _resolve_shard_plan(args, jobs=jobs)
+    # The figure producers only ever call runner.run(); the process-wide
+    # default plan routes every one of their points through the shard
+    # engine without threading a parameter into the producer API.
+    set_default_shard_plan(plan)
+    try:
+        _prewarm_points(figure_points(name, apps, args.scale), jobs)
+        payload = getattr(figures, name)(apps, args.scale)
+    finally:
+        set_default_shard_plan(None)
     _FIGURE_PRINTERS[args.number](payload)
     _ingest_figure(args, name, payload, args.scale, apps)
     return 0
@@ -455,6 +512,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return EXIT_REPRO_ERROR
 
     jobs = _resolved_jobs(args)
+    from repro.shard import reject_unsupported
+
+    plan = _resolve_shard_plan(args, jobs=jobs)
+    reject_unsupported(plan,
+                       telemetry=args.telemetry or bool(args.trace_dir),
+                       trace_dir=args.trace_dir)
     # One writer for progress lines and (parallel) worker heartbeats, so
     # concurrent sources never interleave mid-line.
     writer = ProgressWriter()
@@ -495,6 +558,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         heartbeat_writer=writer,
         retry_failed=args.retry_failed,
         supervisor=supervisor,
+        shard_plan=plan,
     )
     rows = [
         ["points", summary.total_points],
@@ -529,6 +593,72 @@ BASELINE_SCORECARD = os.path.join("bench_results", "baseline_scorecard.json")
 #: Where ``repro bench`` writes its headline speed measurement.
 BENCH_SIM_SPEED = os.path.join("bench_results", "BENCH_sim_speed.json")
 
+#: Where ``repro bench --shards-axis`` writes the serial-vs-sharded
+#: cycles/second comparison.
+BENCH_SHARD_SPEED = os.path.join("bench_results", "BENCH_shard_speed.json")
+
+
+def _cmd_bench_shards(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.bench import (
+        DEFAULT_FIGURE2_APPS,
+        SHARD_BENCH_COUNTS,
+        run_shard_bench,
+    )
+
+    apps = tuple(args.apps) if args.apps else DEFAULT_FIGURE2_APPS
+    payload = run_shard_bench(
+        scale=args.scale, apps=apps,
+        epoch_cycles=args.epoch_cycles,
+        shard_counts=tuple(args.shards) if args.shards else SHARD_BENCH_COUNTS,
+    )
+
+    out = args.out or BENCH_SHARD_SPEED
+    directory = os.path.dirname(out)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    atomic_write(out, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        rows = []
+        for label, eng in payload["engines"].items():
+            for p in eng["points"]:
+                rows.append([
+                    label, p["workload"], p["cycles"], f"{p['wall_s']:.2f}",
+                    f"{p['cycles_per_s']:,.0f}",
+                    (f"{p['ipc_drift_pct']:+.3f}%"
+                     if "ipc_drift_pct" in p else "-"),
+                ])
+            totals = eng["totals"]
+            speedup = totals.get("speedup_vs_serial")
+            rows.append([
+                label, "(total)", totals["cycles"],
+                f"{totals['wall_s']:.2f}", f"{totals['cycles_per_s']:,.0f}",
+                f"{speedup:.2f}x vs serial" if speedup else "-",
+            ])
+        print(format_table(
+            ["Engine", "App", "Cycles", "Wall s", "Cycles/s", "IPC drift"],
+            rows,
+            title=(f"Shard engine speed (scale={payload['scale']}, "
+                   f"{payload['num_sms']} SMs, {payload['config']}, "
+                   f"E={payload['epoch_cycles']}, "
+                   f"median of {payload['repeats']})")))
+        head = payload["headline"]
+        print(f"headline: {head['engine']} at "
+              f"{head['speedup_vs_serial']:.2f}x serial cycles/s")
+        print(f"bench json: {out}")
+    registry = _registry(args)
+    if registry is not None:
+        from repro.registry.records import bench_record
+
+        record = registry.put(bench_record(payload))
+        if not args.json:
+            print(f"registry: {record.run_id} -> {registry.root}")
+    return 0
+
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
@@ -539,6 +669,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         run_bench,
     )
 
+    if args.shards_axis:
+        return _cmd_bench_shards(args)
+    if args.shards or args.epoch_cycles:
+        raise ReproError("--shards/--epoch-cycles only apply to "
+                         "bench --shards-axis")
     points = DEFAULT_POINTS
     if args.apps:
         points = tuple((app, config) for app, config in DEFAULT_POINTS
@@ -857,6 +992,22 @@ def build_parser() -> argparse.ArgumentParser:
                            help="re-simulate points even when the registry "
                                 "already archives their records")
 
+    def add_shard_flags(p: argparse.ArgumentParser) -> None:
+        from repro.shard import BACKENDS
+
+        p.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="partition each run's SMs across N shard "
+                            "workers (epoch-barrier engine); E=1 is "
+                            "lock-step and bit-identical to serial")
+        p.add_argument("--epoch-cycles", type=int, default=None, metavar="E",
+                       help="cycles each shard simulates between barriers "
+                            "(default 64; 1 = exact lock-step; requires "
+                            "--shards)")
+        p.add_argument("--shard-backend", choices=BACKENDS, default=None,
+                       help="barrier transport: inproc (default) or one "
+                            "OS process per shard (requires --shards; "
+                            "incompatible with --jobs > 1)")
+
     p_run = sub.add_parser("run", help="simulate one workload/configuration")
     p_run.add_argument("app", choices=sorted(SUITE))
     p_run.add_argument("config", choices=sorted(CONFIGS))
@@ -873,6 +1024,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_telemetry_flags(p_run)
     add_integrity_flags(p_run)
     add_registry_flag(p_run)
+    add_shard_flags(p_run)
 
     p_trace = sub.add_parser(
         "trace",
@@ -912,6 +1064,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--scale", type=float, default=0.5)
     p_fig.add_argument("--apps", nargs="*", metavar="APP")
     add_parallel_flags(p_fig)
+    add_shard_flags(p_fig)
     add_registry_flag(p_fig)
 
     p_val = sub.add_parser("validate", help="check the reproduction's shape claims")
@@ -959,6 +1112,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="supervised pool: quarantine a point after N "
                               "dispatch attempts (default 3)")
     add_parallel_flags(p_sweep, cache=True)
+    add_shard_flags(p_sweep)
     add_integrity_flags(p_sweep)
     add_registry_flag(p_sweep)
 
@@ -977,6 +1131,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip the end-to-end figure2 wall-clock timing")
     p_bench.add_argument("--json", action="store_true",
                          help="emit the bench payload as JSON on stdout")
+    p_bench.add_argument("--shards-axis", action="store_true",
+                         help="benchmark the epoch-barrier shard engine "
+                              "instead: serial vs sharded cycles/second on "
+                              "the figure-2 workload set at 15 SMs, written "
+                              f"to {BENCH_SHARD_SPEED}")
+    p_bench.add_argument("--shards", nargs="+", type=int, default=None,
+                         metavar="N",
+                         help="with --shards-axis: shard counts to time "
+                              "(default: 2 4)")
+    p_bench.add_argument("--epoch-cycles", type=int, default=None, metavar="E",
+                         help="with --shards-axis: barrier interval "
+                              "(default: the engine default, 64)")
     add_registry_flag(p_bench)
 
     p_score = sub.add_parser(

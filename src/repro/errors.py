@@ -55,6 +55,27 @@ class CheckpointError(ReproError):
     """A simulator snapshot could not be written, read, or restored."""
 
 
+class ShardConfigError(ConfigError):
+    """Invalid or unsupported sharded-execution configuration.
+
+    Raised when ``--shards`` is combined with a feature the epoch-barrier
+    engine cannot support yet (checkpointing, telemetry hubs, trace
+    capture) or when the shard/worker budget is inconsistent with
+    ``--jobs``. ``details`` names the offending combination.
+    """
+
+
+class ShardWorkerLost(SimulationError):
+    """A shard worker process died or missed its barrier deadline.
+
+    ``details`` carries the worker id, the epoch window it was executing
+    and the failure kind (``"eof"`` for a dead pipe, ``"deadline"`` for a
+    missed heartbeat). The engine catches this internally to retry or
+    degrade to the serial engine; it escapes only when recovery is
+    disabled.
+    """
+
+
 class WorkloadError(ReproError):
     """Invalid workload specification."""
 

@@ -172,6 +172,9 @@ class PointTask:
     telemetry: bool
     trace_dir: Optional[str]
     telemetry_window: int
+    #: Resolved shard plan for this point (pool workers don't inherit the
+    #: parent's process-wide default, so it rides along explicitly).
+    shard_plan: Any = None
 
 
 def _run_point_task(task: PointTask) -> tuple[int, dict]:
@@ -196,6 +199,7 @@ def _run_point_task(task: PointTask) -> tuple[int, dict]:
         trace_dir=task.trace_dir,
         telemetry_window=task.telemetry_window,
         heartbeat_sink=sink,
+        shard_plan=task.shard_plan,
     )
     return task.index, record
 
@@ -258,14 +262,16 @@ def run_point_tasks(
 # ----------------------------------------------------------------------
 
 
-def _prewarm_worker(point: RunPoint):
+def _prewarm_worker(item: tuple):
     from repro.experiments.runner import run
 
+    point, shard_plan = item
     workload, config_name, scale, gpu_config = point
-    return point, run(workload, config_name, scale, gpu_config)
+    return point, run(workload, config_name, scale, gpu_config,
+                      shard_plan=shard_plan)
 
 
-def prewarm(points: Iterable[RunPoint], jobs: int) -> int:
+def prewarm(points: Iterable[RunPoint], jobs: int, shard_plan=None) -> int:
     """Simulate runner points in a pool and seed the in-process run cache.
 
     Returns how many points were actually simulated (already-cached and
@@ -275,14 +281,29 @@ def prewarm(points: Iterable[RunPoint], jobs: int) -> int:
     RunResults are plain picklable dataclasses, and simulation is
     deterministic, so a worker-produced result is indistinguishable from
     a local one.
+
+    ``shard_plan`` defaults to the process-wide plan installed by the
+    CLI's ``--shards``; pool workers don't inherit that module state, so
+    the resolved plan ships with each work item. The ``--jobs`` budget
+    rule is enforced again here (defence in depth): pool workers may only
+    shard in-process.
     """
+    from repro.errors import ShardConfigError
     from repro.experiments import runner
 
+    plan = shard_plan if shard_plan is not None else runner.default_shard_plan()
+    if plan is not None and jobs > 1 and plan.worker_processes():
+        raise ShardConfigError(
+            f"--jobs {jobs} already owns the process budget; prewarm "
+            "workers cannot nest process-backend shards",
+            details={"jobs": jobs, "backend": plan.backend},
+        )
     todo: list[RunPoint] = []
     seen: set[tuple] = set()
     for point in points:
-        key = runner.cache_key(point[0], point[1], point[2], point[3])
-        if key in seen or runner.is_cached(point[0], point[1], point[2], point[3]):
+        key = runner.cache_key(point[0], point[1], point[2], point[3], plan)
+        if key in seen or runner.is_cached(
+                point[0], point[1], point[2], point[3], plan):
             continue
         seen.add(key)
         todo.append(point)
@@ -290,11 +311,14 @@ def prewarm(points: Iterable[RunPoint], jobs: int) -> int:
         return 0
     if jobs <= 1 or len(todo) == 1:
         for workload, config_name, scale, gpu_config in todo:
-            runner.run(workload, config_name, scale, gpu_config)
+            runner.run(workload, config_name, scale, gpu_config,
+                       shard_plan=plan)
         return len(todo)
     with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
-        for point, result in pool.map(_prewarm_worker, todo):
-            runner.seed_cache(point[0], point[1], point[2], point[3], result)
+        for point, result in pool.map(
+                _prewarm_worker, [(p, plan) for p in todo]):
+            runner.seed_cache(point[0], point[1], point[2], point[3],
+                              result, plan)
     return len(todo)
 
 

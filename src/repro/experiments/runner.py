@@ -17,6 +17,7 @@ from typing import Optional
 
 from repro.config import GPUConfig
 from repro.experiments.configs import CONFIGS, experiment_gpu_config
+from repro.shard import ShardPlan, reject_unsupported, shard_execute
 from repro.sm.simulator import SimulationResult, simulate
 from repro.stats.energy import EnergyModel, EnergyReport
 from repro.workloads.suite import workload
@@ -39,6 +40,9 @@ class RunResult:
     config_name: str
     sim: SimulationResult
     energy: EnergyReport
+    #: Shard drift/attempt report when the point ran under ``--shards``
+    #: (see :func:`repro.shard.shard_execute`); ``None`` for serial runs.
+    shard_info: Optional[dict] = None
 
     @property
     def ipc(self) -> float:
@@ -47,6 +51,30 @@ class RunResult:
     @property
     def cycles(self) -> int:
         return self.sim.cycles
+
+
+#: Process-wide default shard plan, set once by the CLI (``--shards``) so
+#: figure/scorecard producers — which only ever call :func:`run` — inherit
+#: intra-run sharding without threading a plan through every call site.
+_DEFAULT_SHARD_PLAN: Optional[ShardPlan] = None
+
+#: Sentinel distinguishing "not passed" from an explicit ``None`` (serial).
+_PLAN_UNSET = object()
+
+
+def set_default_shard_plan(plan: Optional[ShardPlan]) -> None:
+    """Install (or clear, with ``None``) the process-wide shard plan."""
+    global _DEFAULT_SHARD_PLAN
+    _DEFAULT_SHARD_PLAN = plan
+
+
+def default_shard_plan() -> Optional[ShardPlan]:
+    """The process-wide shard plan, or ``None`` (serial execution)."""
+    return _DEFAULT_SHARD_PLAN
+
+
+def _effective_plan(shard_plan) -> Optional[ShardPlan]:
+    return _DEFAULT_SHARD_PLAN if shard_plan is _PLAN_UNSET else shard_plan
 
 
 #: Default LRU capacity; override via $REPRO_RUN_CACHE_SIZE or set_cache_limit.
@@ -81,9 +109,21 @@ def cache_key(
     config_name: str,
     scale: float,
     gpu_config: Optional[GPUConfig] = None,
+    shard_plan=_PLAN_UNSET,
 ) -> tuple:
-    """The memoisation key :func:`run` would use for these arguments."""
-    return (workload_abbr, config_name, scale, gpu_config or experiment_gpu_config())
+    """The memoisation key :func:`run` would use for these arguments.
+
+    Bit-exact shard plans (lock-step ``E=1``) and serial execution share
+    one key — their results are identical by construction — while
+    relaxed plans append their identity tag so drifted statistics never
+    masquerade as serial ones.
+    """
+    key = (workload_abbr, config_name, scale,
+           gpu_config or experiment_gpu_config())
+    plan = _effective_plan(shard_plan)
+    if plan is not None and not plan.bit_exact:
+        key += (plan.identity_tag,)
+    return key
 
 
 def is_cached(
@@ -91,9 +131,12 @@ def is_cached(
     config_name: str,
     scale: float,
     gpu_config: Optional[GPUConfig] = None,
+    shard_plan=_PLAN_UNSET,
 ) -> bool:
     """True when :func:`run` with these arguments would be a cache hit."""
-    return cache_key(workload_abbr, config_name, scale, gpu_config) in _CACHE
+    return cache_key(
+        workload_abbr, config_name, scale, gpu_config, shard_plan
+    ) in _CACHE
 
 
 def seed_cache(
@@ -102,6 +145,7 @@ def seed_cache(
     scale: float,
     gpu_config: Optional[GPUConfig],
     result: RunResult,
+    shard_plan=_PLAN_UNSET,
 ) -> None:
     """Install a result computed elsewhere (e.g. a pool worker) into the cache.
 
@@ -111,7 +155,8 @@ def seed_cache(
     knowing parallelism exists. Simulation is deterministic, so a seeded
     result is indistinguishable from one computed in-process.
     """
-    _CACHE[cache_key(workload_abbr, config_name, scale, gpu_config)] = result
+    key = cache_key(workload_abbr, config_name, scale, gpu_config, shard_plan)
+    _CACHE[key] = result
     while len(_CACHE) > _cache_max:
         _CACHE.popitem(last=False)
 
@@ -122,6 +167,8 @@ def run(
     scale: float = 1.0,
     gpu_config: Optional[GPUConfig] = None,
     telemetry=None,
+    shard_plan=_PLAN_UNSET,
+    shard_supervisor=None,
 ) -> RunResult:
     """Simulate one workload under one named configuration (memoised).
 
@@ -129,12 +176,22 @@ def run(
     bypasses the cache entirely — both lookup and store — because the
     hub is bound to the specific simulator instance and a memoised
     result would silently carry no telemetry.
+
+    ``shard_plan`` switches the point to the epoch-barrier sharded
+    engine (default: the process-wide plan installed by the CLI's
+    ``--shards``; pass ``None`` explicitly to force serial). Telemetry
+    hubs bind to the serial simulator's shared event queue, so combining
+    them with a shard plan raises
+    :class:`~repro.errors.ShardConfigError` rather than silently
+    dropping events.
     """
     if config_name not in CONFIGS:
         known = ", ".join(sorted(CONFIGS))
         raise ValueError(f"unknown config {config_name!r}; known: {known}")
+    plan = _effective_plan(shard_plan)
+    reject_unsupported(plan, telemetry=telemetry is not None)
     cfg = gpu_config or experiment_gpu_config()
-    key = (workload_abbr, config_name, scale, cfg)
+    key = cache_key(workload_abbr, config_name, scale, cfg, plan)
     if telemetry is None:
         cached = _CACHE.get(key)
         if cached is not None:
@@ -144,11 +201,18 @@ def run(
     spec = workload(workload_abbr)
     kernel = build_kernel(spec, scale)
     engine = CONFIGS[config_name]
-    sim = simulate(kernel, cfg, engine.build, telemetry=telemetry)
+    shard_info = None
+    if plan is None:
+        sim = simulate(kernel, cfg, engine.build, telemetry=telemetry)
+    else:
+        sim, shard_info = shard_execute(
+            kernel, cfg, engine.build, plan, supervisor=shard_supervisor
+        )
     energy = EnergyModel().report(
         sim.stats, apres_events=sim.engine_events, num_sms=cfg.num_sms
     )
-    result = RunResult(workload_abbr, config_name, sim, energy)
+    result = RunResult(workload_abbr, config_name, sim, energy,
+                       shard_info=shard_info)
     if telemetry is None:
         _CACHE[key] = result
         while len(_CACHE) > _cache_max:

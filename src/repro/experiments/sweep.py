@@ -182,7 +182,7 @@ def _point_provenance(point: SweepPoint, base: dict) -> dict:
 
 def _ok_record(point: SweepPoint, result: RunResult, attempts: int) -> dict:
     s = result.sim.stats
-    return {
+    record = {
         "format": RESULT_FORMAT,
         "key": point.key,
         "workload": point.workload,
@@ -199,6 +199,12 @@ def _ok_record(point: SweepPoint, result: RunResult, attempts: int) -> dict:
         "engine_events": result.sim.engine_events,
         "stats": s.as_dict(),
     }
+    shard_info = getattr(result, "shard_info", None)
+    if shard_info is not None and not shard_info.get("bit_exact"):
+        # Relaxed plans report their measured drift; lock-step records
+        # must stay byte-identical to serial ones, so they add nothing.
+        record["shard"] = dict(shard_info)
+    return record
 
 
 def _failure_record(point: SweepPoint, exc: ReproError, attempts: int,
@@ -323,6 +329,7 @@ def run_sweep(
     heartbeat_writer: Optional[Any] = None,
     retry_failed: bool = False,
     supervisor: Optional[Any] = None,
+    shard_plan: Optional[Any] = None,
 ) -> SweepSummary:
     """Run every point, persisting each result to ``out_path`` as it lands.
 
@@ -363,9 +370,23 @@ def run_sweep(
     ``supervisor`` (a :class:`~repro.resilience.SupervisorConfig`) swaps
     the plain pool for the hardened supervised engine — heartbeat
     deadlines, kill-and-requeue, quarantine, serial degradation.
+
+    ``shard_plan`` (a :class:`~repro.shard.ShardPlan`) runs every point
+    on the epoch-barrier sharded engine. Lock-step plans (``E=1``)
+    produce records indistinguishable from serial ones; relaxed plans
+    stamp ``provenance["engine"]`` so their registry memo lineage stays
+    separate from serial results. Pool workers receive the plan with
+    each task (the process-wide runner default does not cross the pool
+    boundary).
     """
     points = list(points)
+    if shard_plan is None:
+        from repro.experiments.runner import default_shard_plan
+
+        shard_plan = default_shard_plan()
     base_prov = _base_provenance(gpu_config)
+    if shard_plan is not None and shard_plan.identity_tag:
+        base_prov["engine"] = shard_plan.identity_tag
     store = ResultsStore(out_path)
     done: dict[str, dict] = {}
     quarantined_resume: dict[str, dict] = {}
@@ -444,6 +465,7 @@ def run_sweep(
             trace_dir=trace_dir, telemetry_window=telemetry_window,
             cache_lookup=cache_lookup if caching else None, jobs=jobs,
             heartbeat_writer=heartbeat_writer, supervisor=supervisor,
+            shard_plan=shard_plan,
         )
         return summary
 
@@ -463,6 +485,7 @@ def run_sweep(
             telemetry=telemetry or trace_dir is not None,
             trace_dir=trace_dir,
             telemetry_window=telemetry_window,
+            shard_plan=shard_plan,
         )
         record["provenance"] = provenance
         flush(point, record, cached=False)
@@ -485,6 +508,7 @@ def _run_pending_parallel(
     jobs: int,
     heartbeat_writer: Optional[Any],
     supervisor: Optional[Any] = None,
+    shard_plan: Optional[Any] = None,
 ) -> None:
     """Fan pending points across a pool, flushing strictly in point order.
 
@@ -517,6 +541,7 @@ def _run_pending_parallel(
             retries=retries, backoff_s=backoff_s,
             point_timeout_s=point_timeout_s, telemetry=telemetry,
             trace_dir=trace_dir, telemetry_window=telemetry_window,
+            shard_plan=shard_plan,
         ))
 
     relay = None
@@ -578,6 +603,7 @@ def _run_point(
     trace_dir: Optional[str] = None,
     telemetry_window: int = 5_000,
     heartbeat_sink: Optional[Any] = None,
+    shard_plan: Optional[Any] = None,
 ) -> dict:
     """Simulate one point with timeout + bounded retry; never raises
     :class:`ReproError` — failures become records.
@@ -607,6 +633,7 @@ def _run_point(
                     scale=point.scale,
                     gpu_config=gpu_config,
                     telemetry=hub,
+                    shard_plan=shard_plan,
                 )
             record = _ok_record(point, result, attempts)
             if hub is not None:

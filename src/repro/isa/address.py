@@ -26,6 +26,28 @@ def _mix64(x: int) -> int:
     return x ^ (x >> 31)
 
 
+def _contiguous_lines(
+    start: int, lanes: int, element_bytes: int, line_size: int
+) -> tuple[int, list[int]]:
+    """Coalesce an ascending per-lane run starting at ``start`` directly.
+
+    With ``element_bytes <= line_size`` the lanes cover every line between
+    the first and last address, so the line list is just an aligned range
+    — no per-lane list needs to be built.
+    """
+    if element_bytes <= line_size:
+        first = start - start % line_size
+        last_addr = start + (lanes - 1) * element_bytes
+        last = last_addr - last_addr % line_size
+        return start, list(range(first, last + line_size, line_size))
+    return start, list(
+        dict.fromkeys(
+            (start + lane * element_bytes) // line_size * line_size
+            for lane in range(lanes)
+        )
+    )
+
+
 class AddressGenerator(abc.ABC):
     """Maps ``(global warp id, iteration)`` to per-lane byte addresses."""
 
@@ -36,6 +58,20 @@ class AddressGenerator(abc.ABC):
     def primary_address(self, warp: int, iteration: int) -> int:
         """Address requested by the lowest thread ID (what SAP's DRQ stores)."""
         return self.addresses(warp, iteration)[0]
+
+    def coalesced(self, warp: int, iteration: int, line_size: int) -> tuple[int, list[int]]:
+        """``(primary address, unique line addresses)`` for this instance.
+
+        Equivalent to coalescing :meth:`addresses`, but overridable so
+        generators with known structure can skip materialising the
+        per-lane list on the issue hot path. The line order must match
+        :func:`repro.mem.coalescer.coalesce` on the per-lane stream
+        (lowest lane's segment first).
+        """
+        addrs = self.addresses(warp, iteration)
+        return addrs[0], list(
+            dict.fromkeys(a - a % line_size for a in addrs)
+        )
 
 
 @dataclass(frozen=True)
@@ -58,6 +94,10 @@ class BroadcastAddress(AddressGenerator):
 
     def primary_address(self, warp: int, iteration: int) -> int:
         return self.base + (iteration * self.element_bytes) % self.region_bytes
+
+    def coalesced(self, warp: int, iteration: int, line_size: int) -> tuple[int, list[int]]:
+        addr = self.base + (iteration * self.element_bytes) % self.region_bytes
+        return addr, [addr - addr % line_size]
 
 
 @dataclass(frozen=True)
@@ -89,6 +129,12 @@ class StridedAddress(AddressGenerator):
 
     def primary_address(self, warp: int, iteration: int) -> int:
         return self._start(warp, iteration)
+
+    def coalesced(self, warp: int, iteration: int, line_size: int) -> tuple[int, list[int]]:
+        return _contiguous_lines(
+            self._start(warp, iteration), self.lanes, self.element_bytes,
+            line_size,
+        )
 
     def _start(self, warp: int, iteration: int) -> int:
         iter_off = iteration * self.iter_stride
@@ -127,22 +173,51 @@ class IrregularAddress(AddressGenerator):
     lanes: int = WARP_SIZE
 
     def addresses(self, warp: int, iteration: int) -> list[int]:
+        # Lanes sharing a bucket hash identically, so one address per
+        # bucket suffices (``lines_per_warp`` of them, not ``lanes``).
         out: list[int] = []
-        hot_cut = int(self.hot_fraction * 256)
+        last_bucket = -1
+        addr = 0
         for lane in range(self.lanes):
             bucket = lane * self.lines_per_warp // self.lanes
-            h = _mix64((self.seed << 48) ^ (warp << 28) ^ (iteration << 8) ^ bucket)
-            if (h & 0xFF) < hot_cut:
-                if self.private_block_bytes:
-                    block = self.private_block_bytes
-                    elem = (h >> 8) % max(1, block // self.element_bytes)
-                    out.append(self.base + warp * block + elem * self.element_bytes)
-                    continue
-                elem = (h >> 8) % max(1, self.hot_bytes // self.element_bytes)
-            else:
-                elem = (h >> 8) % max(1, self.footprint_bytes // self.element_bytes)
-            out.append(self.base + elem * self.element_bytes)
+            if bucket != last_bucket:
+                addr = self._bucket_address(warp, iteration, bucket)
+                last_bucket = bucket
+            out.append(addr)
         return out
+
+    def primary_address(self, warp: int, iteration: int) -> int:
+        return self._bucket_address(warp, iteration, 0)
+
+    def coalesced(self, warp: int, iteration: int, line_size: int) -> tuple[int, list[int]]:
+        primary: int = 0
+        lines: dict[int, None] = {}
+        lanes = self.lanes
+        lpw = self.lines_per_warp
+        last_bucket = -1
+        for lane in range(lanes):
+            bucket = lane * lpw // lanes
+            if bucket == last_bucket:
+                continue
+            last_bucket = bucket
+            addr = self._bucket_address(warp, iteration, bucket)
+            if bucket == 0:
+                primary = addr
+            lines[addr - addr % line_size] = None
+        return primary, list(lines)
+
+    def _bucket_address(self, warp: int, iteration: int, bucket: int) -> int:
+        hot_cut = int(self.hot_fraction * 256)
+        h = _mix64((self.seed << 48) ^ (warp << 28) ^ (iteration << 8) ^ bucket)
+        if (h & 0xFF) < hot_cut:
+            if self.private_block_bytes:
+                block = self.private_block_bytes
+                elem = (h >> 8) % max(1, block // self.element_bytes)
+                return self.base + warp * block + elem * self.element_bytes
+            elem = (h >> 8) % max(1, self.hot_bytes // self.element_bytes)
+        else:
+            elem = (h >> 8) % max(1, self.footprint_bytes // self.element_bytes)
+        return self.base + elem * self.element_bytes
 
 
 @dataclass(frozen=True)
@@ -169,6 +244,12 @@ class IndirectAddress(AddressGenerator):
 
     def primary_address(self, warp: int, iteration: int) -> int:
         return self._start(warp, iteration)
+
+    def coalesced(self, warp: int, iteration: int, line_size: int) -> tuple[int, list[int]]:
+        return _contiguous_lines(
+            self._start(warp, iteration), self.lanes, self.element_bytes,
+            line_size,
+        )
 
     def _start(self, warp: int, iteration: int) -> int:
         offset = warp * self.warp_stride + iteration * self.iter_stride

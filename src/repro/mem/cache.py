@@ -22,8 +22,20 @@ from repro.mem.tags import LineMeta, TagArray
 from repro.stats.counters import CacheStats
 from repro.telemetry.events import L1AccessEvent, L1EvictEvent, L1FillEvent, PrefetchDropEvent
 
-#: ``fn(line_addr, now, is_prefetch) -> fill_cycle`` — forwards a miss downstream.
-MissForwarder = Callable[[int, int, bool], int]
+class MissForwarder:
+    """L1 miss-path interface: ``(line_addr, now, is_prefetch) -> fill_cycle``.
+
+    A real base class rather than a ``Callable`` alias so the effect
+    analysis (:mod:`repro.analysis.effects`) can resolve the forwarder
+    field to one named type and fan virtual dispatch over every engine's
+    implementation — the serial subsystem's forwarder and the shard
+    proxy's both subclass this.
+    """
+
+    __slots__ = ()
+
+    def __call__(self, line_addr: int, now: int, is_prefetch: bool) -> int:
+        raise NotImplementedError
 #: ``fn(filler_warp, line_addr)`` — eviction feedback (CCWS victim tags).
 EvictionListener = Callable[[int, int], None]
 

@@ -17,7 +17,7 @@ from typing import Callable
 
 from repro.config import GPUConfig
 from repro.errors import InvariantError
-from repro.mem.cache import L1Cache
+from repro.mem.cache import L1Cache, MissForwarder
 from repro.mem.dram import DRAMModel
 from repro.mem.l2 import L2Cache
 from repro.stats.counters import SimStats
@@ -74,7 +74,7 @@ class _L1FillEvent:
         self.l1.fill(self.line_addr, when)
 
 
-class _L1MissForwarder:
+class _L1MissForwarder(MissForwarder):
     """Per-SM miss path into the shared L2 (picklable MissForwarder)."""
 
     __slots__ = ("subsystem", "sm_id")
@@ -85,6 +85,41 @@ class _L1MissForwarder:
 
     def __call__(self, line_addr: int, now: int, is_prefetch: bool) -> int:
         return self.subsystem.forward_miss(self.sm_id, line_addr, now)
+
+
+class SharedL2Core:  # simlint: boundary[authoritative L2/DRAM pair replayed serially at shard barriers]
+    """The shared L2 + DRAM pair without per-SM L1s.
+
+    The sharded engine (:mod:`repro.shard`) keeps exactly one of these in
+    the parent: shard workers defer their L1 miss/store traffic into logs,
+    and the parent replays the merged log through this core in the serial
+    engine's access order. The methods mirror the slice of
+    :meth:`MemorySubsystem.forward_miss` / :meth:`MemorySubsystem.store`
+    that touches shared state, so both engines charge the same counters.
+    """
+
+    __slots__ = ("_line_size", "_stats", "dram", "l2")
+
+    def __init__(self, config: GPUConfig, stats: SimStats):
+        self._line_size = config.l1.line_size
+        self._stats = stats
+        self.dram = DRAMModel(config.dram, config.l1.line_size, stats.memory)
+        self.l2 = L2Cache(config.l2, self.dram, stats.memory)
+
+    def replay_miss(self, line_addr: int, now: int) -> int:
+        """Charge one L1 miss (demand or prefetch); returns the fill cycle."""
+        fill_cycle = self.l2.access(line_addr, now)
+        self._stats.memory.bytes_l2_to_l1 += self._line_size
+        return fill_cycle
+
+    def replay_store(self, line_addr: int, now: int) -> None:
+        """Charge one write-through store line."""
+        self.l2.write(line_addr, now)
+        self._stats.memory.bytes_stored += self._line_size
+
+    def describe(self, now: int) -> dict:
+        """JSON-ready snapshot of the shared side (diagnostics)."""
+        return {"dram_queue_depths": self.dram.queue_depths(now)}
 
 
 class MemorySubsystem:  # simlint: boundary[shared L2/DRAM front-end: the legal cross-SM channel]

@@ -191,8 +191,18 @@ def _record(kind: str, name: str, identity: dict, metrics: dict, *,
 
 def run_record(result: Any, scale: float, gpu_config: Any, *,
                seed: Optional[int] = None, stalls: Optional[dict] = None,
-               wall_time_s: Optional[float] = None) -> RunRecord:
-    """Registry record for one :class:`~repro.experiments.runner.RunResult`."""
+               wall_time_s: Optional[float] = None,
+               engine_tag: Optional[str] = None) -> RunRecord:
+    """Registry record for one :class:`~repro.experiments.runner.RunResult`.
+
+    ``engine_tag`` names a non-serial execution engine whose statistics
+    are *not* bit-identical to the serial one (a relaxed shard plan's
+    :attr:`~repro.shard.ShardPlan.identity_tag`). It becomes part of the
+    record identity, so drifted metrics get their own ``run_id`` lineage
+    instead of polluting the serial history. Bit-exact engines (lock-step
+    shards) pass ``None`` and share the serial run ids — their payloads
+    hash identically by construction.
+    """
     from repro.experiments.configs import CONFIGS
     from repro.workloads.suite import workload
 
@@ -208,16 +218,24 @@ def run_record(result: Any, scale: float, gpu_config: Any, *,
         "scale": scale,
         "gpu_config": config_hash(gpu_config),
     }
+    if engine_tag is not None:
+        identity["engine"] = engine_tag
     stats = result.sim.stats
     metrics = flatten_metrics(stats.as_dict())
     metrics["ipc"] = stats.ipc
     metrics["energy_pj"] = result.energy.total
+    data: dict = {"engine_events": result.sim.engine_events}
+    shard_info = getattr(result, "shard_info", None)
+    if shard_info is not None and not shard_info.get("bit_exact"):
+        # Only relaxed plans annotate: a lock-step run's record must stay
+        # byte-comparable to (and filed under the same run_id as) serial.
+        data["shard"] = dict(shard_info)
     return _record(
         "run",
         f"{result.workload}|{result.config_name}",
         identity,
         metrics,
-        data={"engine_events": result.sim.engine_events},
+        data=data,
         stalls=stalls,
         wall_time_s=wall_time_s,
     )
@@ -236,8 +254,12 @@ def sweep_point_identity(
     identity from it on both the write side (:func:`sweep_point_record`)
     and the read side (:func:`sweep_point_run_id`) guarantees a cache
     lookup hashes to exactly the id an earlier ingest stored under.
+
+    A relaxed shard plan stamps ``provenance["engine"]`` (see
+    :func:`run_record`); carrying it into the identity keeps drifted
+    sweep results out of the serial memo lineage.
     """
-    return {
+    identity = {
         "workload": workload,
         "config": config,
         "scheduler": provenance.get("scheduler", config),
@@ -246,6 +268,10 @@ def sweep_point_identity(
         "scale": scale,
         "gpu_config": provenance.get("config_hash", ""),
     }
+    engine = provenance.get("engine")
+    if engine:
+        identity["engine"] = engine
+    return identity
 
 
 def sweep_point_run_id(
@@ -314,8 +340,27 @@ def bench_record(payload: Mapping[str, Any]) -> RunRecord:
     Speed is a property of the host as much as of the code, so the
     identity includes nothing host-specific — every bench run of the same
     point set at the same scale lands under one ``run_id`` and the history
-    under that id is the perf trajectory.
+    under that id is the perf trajectory. The serial-vs-sharded bench
+    (``bench.shard_speed`` schema) gets its own lineage keyed on the
+    engine matrix rather than the point set.
     """
+    if str(payload.get("schema", "")).startswith("bench.shard_speed"):
+        identity = {
+            "bench": "shard_speed",
+            "scale": payload.get("scale"),
+            "config": payload.get("config"),
+            "num_sms": payload.get("num_sms"),
+            "epoch_cycles": payload.get("epoch_cycles"),
+            "apps": list(payload.get("apps") or []),
+        }
+        metrics: dict = {}
+        for label, eng in (payload.get("engines") or {}).items():
+            totals = eng.get("totals") or {}
+            metrics[f"{label}_cycles_per_s"] = totals.get("cycles_per_s", 0.0)
+            if "speedup_vs_serial" in totals:
+                metrics[f"{label}_speedup"] = totals["speedup_vs_serial"]
+        return _record("bench", "shard_speed", identity, metrics,
+                       data=dict(payload))
     identity = {
         "bench": "sim_speed",
         "scale": payload.get("scale"),

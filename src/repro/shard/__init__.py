@@ -1,0 +1,33 @@
+"""Epoch-barrier sharded execution of a single run (``--shards N``).
+
+Partitions one simulation's SMs across shard workers that simulate
+epochs of ``E`` cycles locally and exchange all shared-memory traffic at
+deterministic barriers. ``E=1`` is lock-step and bit-identical to the
+serial engine; larger epochs trade exactness of tick-sensitive stall
+counters for speed and report the drift. See DESIGN.md ("Intra-run
+sharded execution") for the protocol and the determinism argument.
+"""
+
+from repro.shard.engine import (
+    ShardedGPUSimulator,
+    shard_execute,
+    simulate_sharded,
+)
+from repro.shard.plan import (
+    BACKENDS,
+    DEFAULT_EPOCH_CYCLES,
+    ShardPlan,
+    reject_unsupported,
+    resolve_plan,
+)
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_EPOCH_CYCLES",
+    "ShardPlan",
+    "ShardedGPUSimulator",
+    "reject_unsupported",
+    "resolve_plan",
+    "shard_execute",
+    "simulate_sharded",
+]

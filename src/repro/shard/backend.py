@@ -1,0 +1,271 @@
+"""Shard backends: how epoch windows reach the shard workers.
+
+Two interchangeable carriers for the same window/barrier protocol:
+
+* :class:`InprocBackend` — direct method calls, zero overhead, the
+  default. On a single-core container this is also the *fast* path: the
+  sharded engine's speedup comes from per-SM event-driven
+  fast-forwarding inside :meth:`ShardLane.run_window`, not from OS-level
+  parallelism.
+* :class:`ProcessBackend` — one forked child per shard, pipes for the
+  barrier exchange. Barrier replies double as heartbeats: a child that
+  misses the supervisor deadline (hung, SIGSTOPped) or whose pipe hits
+  EOF (crashed, OOM-killed) raises
+  :class:`~repro.errors.ShardWorkerLost`, which the engine layer turns
+  into kill-and-requeue and, past ``max_attempts``, degradation to the
+  serial engine. Children are built by ``fork``, so they inherit the
+  armed :mod:`repro.resilience.faults` plan and fire
+  ``shard.window`` fault events deterministically.
+
+Both backends expose the same five calls — ``run_window``,
+``check_invariants``, ``describe``, ``finalize``, ``close`` — so the
+engine never branches on the carrier.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Optional, Sequence
+
+import repro.errors as errors_mod
+from repro.errors import ShardWorkerLost, SimulationError
+from repro.resilience import faults
+from repro.resilience.supervisor import SupervisorConfig
+from repro.shard.worker import BarrierReport, FillDelivery, ShardWorker
+from repro.stats.counters import SimStats
+
+#: Exit code of a fault-injected shard crash (mirrors the pool workers).
+_CRASH_EXIT = 73
+
+
+class InprocBackend:
+    """All shards in the parent process; calls instead of pipes."""
+
+    __slots__ = ("workers",)
+
+    def __init__(self, workers: Sequence[ShardWorker]):
+        self.workers = list(workers)
+
+    def run_window(
+        self,
+        start: int,
+        end: int,
+        exact: bool,
+        deliveries: Sequence[Sequence[FillDelivery]],
+    ) -> list[BarrierReport]:
+        return [
+            worker.run_window(start, end, exact, deliveries[idx])
+            for idx, worker in enumerate(self.workers)
+        ]
+
+    def check_invariants(self, now: int) -> None:
+        for worker in self.workers:
+            worker.check_invariants(now)
+
+    def describe(self) -> list[dict]:
+        return [worker.describe() for worker in self.workers]
+
+    def finalize(self) -> list[tuple[SimStats, int]]:
+        return [
+            (worker.stats, worker.engine_events) for worker in self.workers
+        ]
+
+    def close(self) -> None:  # symmetric with ProcessBackend
+        pass
+
+
+def _shard_child_main(worker: ShardWorker, conn, attempt: int,
+                      plan: Optional[faults.FaultPlan]) -> None:
+    """Child loop: answer window/check/describe/finish requests forever.
+
+    Any simulator-side error is shipped to the parent as a structured
+    ``("error", ...)`` message and re-raised there under its original
+    exception class, so invariant violations inside a shard surface
+    exactly like they do in-process.
+    """
+    if plan is not None:
+        faults.arm(plan)
+    window = 0
+    try:
+        while True:
+            msg = conn.recv()
+            tag = msg[0]
+            if tag == "window":
+                _, start, end, exact, deliveries = msg
+                active = faults.ACTIVE
+                if active is not None:
+                    active.shard_window_fault(window, attempt)
+                report = worker.run_window(start, end, exact, deliveries)
+                conn.send(("report", report))
+                window += 1
+            elif tag == "check":
+                worker.check_invariants(msg[1])
+                conn.send(("ok",))
+            elif tag == "describe":
+                conn.send(("described", worker.describe()))
+            elif tag == "finish":
+                conn.send(("final", worker.stats, worker.engine_events))
+            elif tag == "close":
+                return
+    except EOFError:
+        return
+    except Exception as exc:  # ship the failure, keep serving
+        details = getattr(exc, "details", None)
+        conn.send(("error", type(exc).__name__, str(exc), details))
+
+
+class ProcessBackend:
+    """One forked child per shard; pipes carry the barrier exchange."""
+
+    __slots__ = ("workers", "_sup", "_attempt", "_procs", "_conns",
+                 "_started")
+
+    def __init__(self, workers: Sequence[ShardWorker],
+                 supervisor: SupervisorConfig, attempt: int = 1):
+        self.workers = list(workers)
+        self._sup = supervisor
+        self._attempt = attempt
+        self._procs: list = []
+        self._conns: list = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _ensure_started(self) -> None:
+        if self._started:
+            return
+        ctx = multiprocessing.get_context("fork")
+        for worker in self.workers:
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_child_main,
+                args=(worker, child_conn, self._attempt,
+                      self._sup.fault_plan),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+        self._started = True
+
+    def close(self) -> None:
+        """Tear every child down; SIGKILL handles stopped (hung) ones too."""
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=0.2)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._procs = []
+        self._conns = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Message plumbing
+    # ------------------------------------------------------------------
+
+    def _lost(self, shard: int, kind: str) -> ShardWorkerLost:
+        self.close()
+        return ShardWorkerLost(
+            f"shard worker {shard} lost ({kind}) on attempt {self._attempt}",
+            details={"shard": shard, "kind": kind, "attempt": self._attempt},
+        )
+
+    def _recv(self, shard: int):
+        """One reply from a shard, supervised: EOF and deadline escalate.
+
+        The reply itself is the heartbeat — a shard that goes silent past
+        ``deadline_s`` (``None`` disables hang detection, matching the
+        sweep supervisor's semantics) is declared lost; a dead process
+        with a drained pipe likewise.
+        """
+        conn = self._conns[shard]
+        proc = self._procs[shard]
+        deadline = self._sup.deadline_s
+        poll = self._sup.poll_interval_s or 0.05
+        waited = 0.0
+        while True:
+            if conn.poll(poll):
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    raise self._lost(shard, "eof")
+                if msg[0] == "error":
+                    self.close()
+                    _, name, text, details = msg
+                    exc_cls = getattr(errors_mod, name, SimulationError)
+                    raise exc_cls(text, details=details)
+                return msg
+            if not proc.is_alive():
+                if conn.poll(0):
+                    continue
+                raise self._lost(shard, "eof")
+            waited += poll
+            if deadline is not None and waited >= deadline:
+                raise self._lost(shard, "deadline")
+
+    def _broadcast(self, message: tuple) -> None:
+        self._ensure_started()
+        for shard, conn in enumerate(self._conns):
+            try:
+                conn.send(message)
+            except (BrokenPipeError, OSError):
+                raise self._lost(shard, "eof")
+
+    # ------------------------------------------------------------------
+    # Backend API
+    # ------------------------------------------------------------------
+
+    def run_window(
+        self,
+        start: int,
+        end: int,
+        exact: bool,
+        deliveries: Sequence[Sequence[FillDelivery]],
+    ) -> list[BarrierReport]:
+        self._ensure_started()
+        for shard, conn in enumerate(self._conns):
+            try:
+                conn.send(
+                    ("window", start, end, exact, list(deliveries[shard])))
+            except (BrokenPipeError, OSError):
+                raise self._lost(shard, "eof")
+        return [
+            self._recv(shard)[1] for shard in range(len(self._conns))
+        ]
+
+    def check_invariants(self, now: int) -> None:
+        self._broadcast(("check", now))
+        for shard in range(len(self._conns)):
+            self._recv(shard)
+
+    def describe(self) -> list[dict]:
+        self._broadcast(("describe",))
+        return [self._recv(shard)[1] for shard in range(len(self._conns))]
+
+    def finalize(self) -> list[tuple[SimStats, int]]:
+        self._broadcast(("finish",))
+        return [
+            (msg[1], msg[2])
+            for msg in (self._recv(s) for s in range(len(self._conns)))
+        ]
+
+
+def make_backend(workers: Sequence[ShardWorker], backend: str,
+                 supervisor: SupervisorConfig, attempt: int = 1):
+    """Backend factory used by the engine (keeps the branch in one place)."""
+    if backend == "process":
+        return ProcessBackend(workers, supervisor, attempt=attempt)
+    return InprocBackend(workers)

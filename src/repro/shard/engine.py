@@ -1,0 +1,430 @@
+"""Epoch-barrier sharded execution of a single simulation run.
+
+:class:`ShardedGPUSimulator` partitions the GPU's SMs into shard
+workers, runs each worker's lanes through epochs of ``epoch_cycles``
+cycles of purely local simulation, and resolves all shared-memory
+traffic at the epoch barrier: the per-shard boundary logs are drained,
+merged in deterministic ``(cycle, sm_id, seq)`` order — exactly the
+order in which the serial engine's tick loop would have presented the
+same requests — and replayed through the single authoritative L2/DRAM
+pair (:class:`~repro.mem.subsystem.SharedL2Core`). The resulting fill
+completions are delivered back into each lane's local event queue at the
+start of the next window.
+
+Correctness ladder:
+
+* ``epoch_cycles == 1`` (**lock-step**): the parent drives exactly the
+  serial engine's visited-tick set (advance by one after any issue,
+  otherwise jump to the earliest wake-up across lanes and in-flight
+  fills), every lane drains its events and cycles at every visited tick
+  it has work on, and pure-idle cycles are reconstructed through the
+  exact identity ``idle = num_sms * cycles - instructions``. Statistics
+  are **bit-identical** to :class:`~repro.sm.simulator.GPUSimulator`,
+  including tick-sensitive stall counters.
+* ``epoch_cycles > 1`` (**relaxed**): lanes fast-forward independently
+  inside a window, skipping ticks where nothing can issue. Issue timing
+  is unchanged, but stall counters that depend on which ticks execute
+  (``reservation_fails``, ``lsu_structural_stalls``) drift from serial;
+  the engine counts clamped fills and the CI scorecard bounds the metric
+  drift. This is the fast mode — on a single core it wins by skipping
+  work, not by parallelism.
+
+The integrity layer plugs in unchanged: the engine exposes the same
+``stats`` / ``sms`` / ``subsystem`` / ``describe`` surface as the serial
+simulator, with barrier-aware invariant checks fanned out to the
+workers, and the PR-6 watchdog observes progress at every barrier.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.config import GPUConfig
+from repro.errors import ShardConfigError, ShardWorkerLost, SimulationError
+from repro.integrity.invariants import InvariantChecker
+from repro.integrity.watchdog import Watchdog
+from repro.isa.program import KernelSpec
+from repro.mem.subsystem import SharedL2Core
+from repro.resilience.supervisor import SupervisorConfig
+from repro.shard.backend import make_backend
+from repro.shard.lane import ShardLane
+from repro.shard.plan import ShardPlan
+from repro.shard.proxy import REQ_STORE
+from repro.shard.worker import FillDelivery, ShardWorker
+from repro.sm.pipeline import LoadObserver
+from repro.sm.simulator import EngineFactory, SimulationResult, simulate
+from repro.stats.counters import SimStats
+
+
+class _BoundarySubsystem:
+    """The engine's stand-in for ``simulator.subsystem``.
+
+    The integrity checker calls ``check_invariants``; the watchdog's
+    dump path reads ``describe``. Both fan out to the shard workers plus
+    the parent-held L2/DRAM pair.
+    """
+
+    __slots__ = ("_engine",)
+
+    def __init__(self, engine: "ShardedGPUSimulator"):
+        self._engine = engine
+
+    def check_invariants(self, now: int) -> None:
+        self._engine._backend.check_invariants(now)
+
+    def describe(self, now: int) -> dict:
+        return self._engine._memory_describe(now)
+
+
+class ShardedGPUSimulator:
+    """One kernel over ``num_sms`` SMs, partitioned into shard workers."""
+
+    __slots__ = ("_kernel", "_config", "_plan", "_engine_factory", "stats",
+                 "_shared", "_workers", "_assignment", "_backend",
+                 "_subsystem", "_now", "_prev_cycle", "_finished",
+                 "_integrity", "watchdog", "_fills", "_engine_events",
+                 "windows_run", "clamped_fills", "max_clamp_cycles")
+
+    def __init__(
+        self,
+        kernel: KernelSpec,
+        config: GPUConfig,
+        engine_factory: EngineFactory,
+        plan: ShardPlan,
+        load_observers: Sequence[LoadObserver] = (),
+        supervisor: Optional[SupervisorConfig] = None,
+        attempt: int = 1,
+    ):
+        plan.validate(config)
+        if plan.backend == "process" and load_observers:
+            raise ShardConfigError(
+                "load observers cannot cross the process-backend boundary; "
+                "use --shard-backend inproc with observer-based analyses"
+            )
+        self._kernel = kernel
+        self._config = config
+        self._plan = plan
+        self._engine_factory = engine_factory
+        #: Parent-side stats: L2/DRAM counters and integrity checks live
+        #: here during the run; worker stats are merged in at finish.
+        self.stats = SimStats()
+        self._shared = SharedL2Core(config, self.stats)
+        groups = plan.groups(config.num_sms)
+        assignment = [0] * config.num_sms
+        for worker_id, group in enumerate(groups):
+            for sm_id in group:
+                assignment[sm_id] = worker_id
+        self._assignment = assignment
+        worker_stats = [SimStats() for _ in groups]
+        lanes: list[ShardLane] = []
+        for sm_id in range(config.num_sms):
+            lane = ShardLane(
+                sm_id, kernel, config, engine_factory,
+                worker_stats[assignment[sm_id]], load_observers,
+            )
+            lanes.append(lane)
+        self._workers = [
+            ShardWorker(worker_id, [lanes[sm_id] for sm_id in group],
+                        worker_stats[worker_id])
+            for worker_id, group in enumerate(groups)
+        ]
+        self._backend = make_backend(
+            self._workers, plan.backend,
+            supervisor or SupervisorConfig(), attempt=attempt,
+        )
+        self._subsystem = _BoundarySubsystem(self)
+        self._now = 0
+        self._prev_cycle: Optional[int] = None
+        self._finished = False
+        self._integrity = (
+            InvariantChecker(config.integrity_interval)
+            if config.integrity_interval
+            else None
+        )
+        self.watchdog = Watchdog(config.watchdog_cycles)
+        self._fills = 0
+        self._engine_events = 0
+        #: Epoch windows executed (includes fast-forward-shortened ones).
+        self.windows_run = 0
+        #: Relaxed-mode drift: fills whose completion landed inside an
+        #: already-simulated window and were deferred to the next barrier.
+        self.clamped_fills = 0
+        self.max_clamp_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Introspection (consumed by the integrity layer, mirrors GPUSimulator)
+    # ------------------------------------------------------------------
+
+    @property
+    def subsystem(self) -> _BoundarySubsystem:
+        return self._subsystem
+
+    @property
+    def sms(self) -> Sequence:
+        # Lane-level checks run inside the workers (possibly across a
+        # process boundary), so the checker's own SM sweep has nothing
+        # left to do here.
+        return ()
+
+    @property
+    def kernel_name(self) -> str:
+        return self._kernel.name
+
+    @property
+    def current_cycle(self) -> int:
+        return self._now
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    @property
+    def last_checked_cycle(self) -> Optional[int]:
+        return self._prev_cycle
+
+    @property
+    def fills_completed(self) -> int:
+        """Fills landed in any L1, as of the last barrier (watchdog signal)."""
+        return self._fills
+
+    @property
+    def plan(self) -> ShardPlan:
+        return self._plan
+
+    def _memory_describe(self, now: int) -> dict:
+        info = self._shared.describe(now)
+        info["mshrs"] = [
+            entry for worker in self._backend.describe()
+            for entry in worker["mshrs"]
+        ]
+        return info
+
+    def describe(self, now: Optional[int] = None) -> dict:
+        """JSON-ready snapshot of machine state (diagnostic dumps)."""
+        if now is None:
+            now = self._now
+        workers = self._backend.describe()
+        return {
+            "kernel": self._kernel.name,
+            "cycle": now,
+            "finished": self._finished,
+            "shards": self._plan.num_shards,
+            "epoch_cycles": self._plan.epoch_cycles,
+            "stats": {
+                "instructions": self.stats.instructions,
+                "fills_completed": self._fills,
+                "integrity_checks": self.stats.integrity_checks,
+            },
+            "sms": [sm for worker in workers for sm in worker["sms"]],
+            "memory": {
+                **self._shared.describe(now),
+                "mshrs": [
+                    entry for worker in workers for entry in worker["mshrs"]
+                ],
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Simulate to completion; returns aggregated statistics.
+
+        Raises :class:`~repro.errors.ShardWorkerLost` if a process-backend
+        worker dies or misses its deadline — callers retry or degrade
+        (see :func:`shard_execute`).
+        """
+        try:
+            return self._run_windows()
+        finally:
+            self._backend.close()
+
+    def _run_windows(self) -> SimulationResult:
+        epoch = self._plan.epoch_cycles
+        exact = self._plan.bit_exact
+        num_workers = len(self._workers)
+        assignment = self._assignment
+        backend = self._backend
+        start = 0
+        deliveries: list[list[FillDelivery]] = [
+            [] for _ in range(num_workers)
+        ]
+        while True:
+            end = start + epoch
+            reports = backend.run_window(start, end, exact, deliveries)
+            self.windows_run += 1
+            deliveries = [[] for _ in range(num_workers)]
+            # Deterministic barrier merge: (cycle, sm_id, seq) is exactly
+            # the order the serial tick loop (SM 0..N-1 per tick, program
+            # order within an SM) would have hit the shared L2.
+            merged = []
+            for report in reports:
+                merged.extend(report.entries)
+            merged.sort()
+            new_fills: list[FillDelivery] = []
+            for cycle, sm_id, _seq, kind, line_addr in merged:
+                if kind == REQ_STORE:
+                    self._shared.replay_store(line_addr, cycle)
+                else:
+                    fill = self._shared.replay_miss(line_addr, cycle)
+                    new_fills.append((sm_id, line_addr, fill))
+            # Progress mirrors for the watchdog; the instruction mirror is
+            # replaced by the real merge at finish.
+            self.stats.instructions = sum(r.instructions for r in reports)
+            self._fills = sum(r.fills_completed for r in reports)
+            now = end - 1
+            if all(r.all_quiesced for r in reports) and not new_fills:
+                quiesced = [
+                    r.max_quiesced_at for r in reports
+                    if r.max_quiesced_at is not None
+                ]
+                return self._finish(max(quiesced) if quiesced else now)
+            if self._integrity is not None:
+                self._integrity.maybe_check(self, now)
+            self.watchdog.observe(self, now)
+            if now >= self._config.max_cycles:
+                self.watchdog.budget_exceeded(
+                    self, now, self._config.max_cycles)
+            if any(r.issued for r in reports):
+                next_start = end
+            else:
+                wake: Optional[int] = None
+                for report in reports:
+                    if report.wake is not None and (
+                            wake is None or report.wake < wake):
+                        wake = report.wake
+                for _sm_id, _line, fill in new_fills:
+                    if wake is None or fill < wake:
+                        wake = fill
+                if wake is None:
+                    raise SimulationError(
+                        f"kernel {self._kernel.name!r} deadlocked at cycle "
+                        f"{now}: no ready warps and no pending events",
+                        details=self.describe(now),
+                    )
+                next_start = wake if wake > end else end
+            for sm_id, line_addr, fill in new_fills:
+                if fill < next_start:
+                    self.clamped_fills += 1
+                    clamp = next_start - fill
+                    if clamp > self.max_clamp_cycles:
+                        self.max_clamp_cycles = clamp
+                    fill = next_start
+                deliveries[assignment[sm_id]].append((sm_id, line_addr, fill))
+            self._prev_cycle = now
+            self._now = next_start
+            start = next_start
+
+    def _finish(self, last_tick: int) -> SimulationResult:
+        self._now = last_tick + 1
+        self._prev_cycle = last_tick
+        self._finished = True
+        self.stats.cycles = self._now
+        finals = self._backend.finalize()
+        # Drop the per-barrier instruction mirror before merging the real
+        # per-worker counters (it would double-count otherwise).
+        self.stats.instructions = 0
+        engine_events = 0
+        for worker_stats, worker_events in finals:
+            self.stats.merge(worker_stats)
+            engine_events += worker_events
+        # Idle cycles via the exact conservation identity: every visited
+        # tick contributes exactly one of {instruction, idle} per SM, and
+        # every skipped tick is pure idle for all SMs.
+        self.stats.idle_cycles = (
+            self._config.num_sms * self.stats.cycles - self.stats.instructions
+        )
+        self._engine_events = engine_events
+        return self.result()
+
+    def result(self) -> SimulationResult:
+        """Aggregate statistics of a completed run."""
+        if not self._finished:
+            raise SimulationError(
+                f"kernel {self._kernel.name!r} still running at cycle "
+                f"{self._now}; result() requires a completed simulation"
+            )
+        return SimulationResult(
+            stats=self.stats,
+            engine_events=self._engine_events,
+            config=self._config,
+            kernel_name=self._kernel.name,
+        )
+
+    def drift_report(self) -> dict:
+        """Relaxed-mode drift counters (all zero in lock-step mode)."""
+        return {
+            "bit_exact": self._plan.bit_exact,
+            "epoch_cycles": self._plan.epoch_cycles,
+            "shards": self._plan.num_shards,
+            "windows_run": self.windows_run,
+            "clamped_fills": self.clamped_fills,
+            "max_clamp_cycles": self.max_clamp_cycles,
+        }
+
+
+def shard_execute(
+    kernel: KernelSpec,
+    config: GPUConfig,
+    engine_factory: EngineFactory,
+    plan: ShardPlan,
+    load_observers: Sequence[LoadObserver] = (),
+    supervisor: Optional[SupervisorConfig] = None,
+) -> tuple[SimulationResult, dict]:
+    """Run one kernel under ``plan`` with supervision; returns (result, info).
+
+    Process-backend failures (worker crash, missed heartbeat deadline)
+    are retried with fresh workers up to ``supervisor.max_attempts``;
+    past that the run **degrades to the serial engine**, so a sharded
+    invocation always returns a result for any workload the serial
+    engine can complete. ``info`` records the drift counters, attempts
+    used, and whether degradation happened.
+    """
+    sup = supervisor or SupervisorConfig()
+    attempts = sup.max_attempts if plan.backend == "process" else 1
+    failures: list[str] = []
+    for attempt in range(1, max(1, attempts) + 1):
+        engine = ShardedGPUSimulator(
+            kernel, config, engine_factory, plan, load_observers,
+            supervisor=sup, attempt=attempt,
+        )
+        try:
+            result = engine.run()
+        except ShardWorkerLost as exc:
+            failures.append(str(exc))
+            continue
+        info = engine.drift_report()
+        info["attempts"] = attempt
+        info["degraded"] = False
+        info["failures"] = failures
+        return result, info
+    result = simulate(kernel, config, engine_factory, load_observers)
+    info = {
+        "bit_exact": True,
+        "epoch_cycles": plan.epoch_cycles,
+        "shards": plan.num_shards,
+        "windows_run": 0,
+        "clamped_fills": 0,
+        "max_clamp_cycles": 0,
+        "attempts": attempts,
+        "degraded": True,
+        "failures": failures,
+    }
+    return result, info
+
+
+def simulate_sharded(
+    kernel: KernelSpec,
+    config: GPUConfig,
+    engine_factory: EngineFactory,
+    plan: ShardPlan,
+    load_observers: Sequence[LoadObserver] = (),
+    supervisor: Optional[SupervisorConfig] = None,
+) -> SimulationResult:
+    """Convenience wrapper over :func:`shard_execute` (result only)."""
+    result, _info = shard_execute(
+        kernel, config, engine_factory, plan, load_observers,
+        supervisor=supervisor,
+    )
+    return result

@@ -1,0 +1,214 @@
+"""One SM's private execution context inside a shard.
+
+A :class:`ShardLane` bundles an :class:`~repro.sm.pipeline.SMCore`, its
+L1, its local event queue and its boundary proxy, and knows how to
+simulate an epoch window ``[start, end)`` using only that private state.
+Between barriers a lane never touches anything another lane can see —
+the static isolation analysis (SL009) picks ``ShardLane.cycle`` up as a
+per-SM call-graph root exactly like ``SMCore.cycle``.
+
+Two window modes:
+
+* **exact** (lock-step, ``epoch_cycles == 1``): a lane executes its
+  core's ``cycle()`` whenever the core could do anything beyond counting
+  an idle cycle (:meth:`SMCore.has_pending_work`). Skipped calls are
+  provably pure ``idle_cycles`` increments, which the engine
+  reconstructs arithmetically, so statistics stay bit-identical to the
+  serial engine.
+* **relaxed** (``epoch_cycles > 1``): the lane applies the serial
+  engine's own advance rule *per SM* — cycle, and when nothing issued
+  jump straight to the next local event or warp wake-up — instead of
+  marching in lock-step with the other SMs. Issue timing is unaffected
+  (a stalled warp can only become issuable through a local event or its
+  own wake-up, both of which are jump targets), but tick-sensitive
+  stall counters (``reservation_fails``, ``lsu_structural_stalls``)
+  stop counting the ticks other SMs forced into the global schedule,
+  so they drift from serial; the engine measures and reports that
+  drift instead of hiding it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.config import GPUConfig
+from repro.errors import InvariantError
+from repro.isa.program import KernelSpec
+from repro.mem.cache import L1Cache
+from repro.sm.pipeline import LoadObserver, SMCore
+from repro.shard.proxy import ShardMemoryProxy, _ShardMissForwarder
+from repro.stats.counters import SimStats
+
+#: ``sleep_until`` sentinel: nothing local can ever wake this lane — only
+#: a barrier-delivered fill can (the worker clears the sleep on delivery).
+WAIT_FOR_BARRIER = 1 << 62
+
+
+class ShardLane:
+    """One SM plus its private L1, event queue and boundary proxy."""
+
+    __slots__ = ("sm_id", "core", "l1", "proxy", "events", "quiesced_at",
+                 "sleep_until", "scheduler", "prefetcher")
+
+    def __init__(
+        self,
+        sm_id: int,
+        kernel: KernelSpec,
+        config: GPUConfig,
+        engine_factory,
+        stats: SimStats,
+        load_observers: Sequence[LoadObserver] = (),
+    ):
+        scheduler, prefetcher = engine_factory()
+        self.scheduler = scheduler
+        self.prefetcher = prefetcher
+        proxy = ShardMemoryProxy(sm_id, config, stats)
+        l1 = L1Cache(config.l1, stats.l1, _ShardMissForwarder(proxy))
+        l1.stats_latency = proxy.record_latency
+        proxy.attach_l1(l1)
+        core = SMCore(
+            sm_id, config, kernel, scheduler, prefetcher, l1, proxy, stats
+        )
+        core.load_observers.extend(load_observers)
+        self.sm_id = sm_id
+        self.core = core
+        self.l1 = l1
+        self.proxy = proxy
+        self.events = proxy.events
+        #: First cycle at which this lane was finished with an empty queue
+        #: and nothing in flight at the boundary; ``None`` while running.
+        self.quiesced_at: Optional[int] = None
+        #: Earliest cycle at which this lane has anything to do again, set
+        #: when a window exits with no work left before its end. ``None``
+        #: means the lane must run in the next window. Lets the worker
+        #: skip stalled lanes without even entering :meth:`run_window`
+        #: (pure idle; reconstructed arithmetically by the engine).
+        self.sleep_until: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Cycle path (effect-analysis root, mirroring SMCore.cycle)
+    # ------------------------------------------------------------------
+
+    def cycle(self, now: int) -> bool:
+        """Advance this lane one cycle: drain due local events, then the core."""
+        self.events.run_until(now)
+        return self.core.cycle(now)
+
+    def run_window(self, start: int, end: int, exact: bool) -> bool:
+        """Simulate ``[start, end)`` locally; True if an instruction issued.
+
+        Only visits *interesting* cycles: issue ticks step by one, idle
+        stretches jump straight to the next local event or warp wake-up.
+        Skipped cycles are pure idle (reconstructed arithmetically by the
+        engine), so no per-cycle work is done for stalled or finished SMs
+        — the core of the sharded engine's single-run speedup.
+        """
+        core = self.core
+        q = self.events
+        issued_any = False
+        self.sleep_until = None
+        t = start
+        while t < end:
+            q.run_until(t)
+            # Cycle only when the core could do more than count idle: a
+            # skipped call is a pure ``idle_cycles`` increment (lock-step
+            # exactness relies on this; relaxed mode reconstructs idle
+            # arithmetically anyway). Event-only ticks — e.g. a fill for
+            # a load with other lines still outstanding — stay cheap,
+            # and the same scan yields the wake hint for the jump below.
+            execute, whint = core.pending_work_or_hint(t)
+            issued = execute and core.cycle(t)
+            if issued:
+                issued_any = True
+            # Quiescence is checked on every visited tick — including the
+            # tick of the final issue — matching the serial engine's
+            # finish check, which runs right after cycling the SMs.
+            if (
+                core.done
+                and not len(q)
+                and not self.proxy.pending
+            ):
+                self.quiesced_at = t
+                break
+            if issued:
+                t += 1
+                continue
+            nxt = q.next_event_cycle
+            if execute and (nxt is None or nxt > t + 1):
+                # Cycled without issuing (scheduler throttle or LSU
+                # gate): the combined scan stopped early, so compute the
+                # hint now — unless an event is due next cycle anyway (a
+                # warp hint is always ``> t`` and cannot lower the jump
+                # target). Relaxed mode skips wake-ups that could only
+                # charge LSU structural stalls; lock-step visits them to
+                # keep the tick-accurate counters.
+                whint = (
+                    core.next_wake_hint(t) if exact
+                    else core.next_issuable_hint(t)
+                )
+            if whint is not None and (nxt is None or whint < nxt):
+                nxt = whint
+            # The sleep latch may only persist across windows when the
+            # lane is provably inert (lock-step: has_pending_work False,
+            # so every skipped call is a pure idle increment). A lane
+            # that cycled without issuing is charging stall counters and
+            # must keep running tick by tick in lock-step mode.
+            can_latch = not exact or not execute
+            if nxt is None:
+                # Only a barrier-delivered fill can wake this lane now
+                # (in-flight boundary miss); the worker clears the sleep
+                # when the delivery arrives.
+                if can_latch:
+                    self.sleep_until = WAIT_FOR_BARRIER
+                break
+            if nxt >= end:
+                if can_latch:
+                    self.sleep_until = nxt
+                break
+            t = nxt if nxt > t else t + 1
+        return issued_any
+
+    # ------------------------------------------------------------------
+    # Barrier-side introspection
+    # ------------------------------------------------------------------
+
+    def wake_hint(self, now: int) -> Optional[int]:
+        """Earliest future cycle with local work (events or warp wake-ups)."""
+        wake = self.events.next_event_cycle
+        hint = self.core.next_wake_hint(now)
+        if hint is not None and (wake is None or hint < wake):
+            wake = hint
+        return wake
+
+    def check_invariants(self, now: int) -> None:
+        """Lane-level conservation: MSHRs vs local fills + boundary flight.
+
+        The serial subsystem requires every live MSHR entry to have a
+        pending fill event; in a shard the fill may instead still be in
+        flight at the boundary (requested, not yet delivered), so the
+        conserved quantity is their sum.
+        """
+        self.core.check_invariants(now)
+        live = len(self.l1.mshrs)
+        accounted = self.proxy.pending_fill_events() + self.proxy.pending
+        if live != accounted:
+            raise InvariantError(
+                f"lane {self.sm_id}: {live} live MSHR entries but "
+                f"{self.proxy.pending_fill_events()} local fill events + "
+                f"{self.proxy.pending} boundary-pending misses",
+                details={
+                    "cycle": now,
+                    "sm": self.sm_id,
+                    "invariant": "lane MSHR/fill conservation",
+                    "live_mshrs": live,
+                    "boundary_pending": self.proxy.pending,
+                },
+            )
+
+    def describe(self) -> dict:
+        """JSON-ready lane snapshot (diagnostic dumps)."""
+        info = self.core.describe()
+        info["quiesced_at"] = self.quiesced_at
+        info["boundary_pending"] = self.proxy.pending
+        info["local_events"] = len(self.events)
+        return info

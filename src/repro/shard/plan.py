@@ -1,0 +1,159 @@
+"""Shard plan: SM partitioning, epoch length and compatibility guards.
+
+A :class:`ShardPlan` is the frozen description of *how* one run is
+sharded: how many shard workers, how many cycles each simulates between
+barriers, and which backend carries the barrier exchange. It also owns
+the composition rules of the ``--jobs`` x ``--shards`` matrix:
+
+* ``--jobs`` owns the **process budget**. A sweep running ``--jobs N``
+  already keeps N worker processes busy, so shards inside those workers
+  always use the in-process backend — requesting the process backend
+  under a parallel sweep is a :class:`~repro.errors.ShardConfigError`
+  (nested pools would oversubscribe every core).
+* ``--shards`` owns the **intra-run partition**. ``epoch_cycles == 1``
+  is the lock-step mode whose statistics are bit-identical to the serial
+  engine; larger epochs relax synchronisation for speed and report the
+  measured drift instead.
+
+Features the epoch engine cannot support yet (checkpointing mid-run,
+telemetry hubs, trace capture) are rejected here with a clear error
+rather than silently ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import GPUConfig
+from repro.errors import ShardConfigError
+
+#: Backend spellings accepted by ``--shard-backend``.
+BACKENDS = ("inproc", "process")
+
+#: Default epoch length for relaxed mode (well inside the no-clamp window:
+#: a fill takes at least ``l2.hit_latency`` cycles, so every completion
+#: lands strictly after the barrier that delivers it).
+DEFAULT_EPOCH_CYCLES = 64
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Frozen description of one sharded execution."""
+
+    num_shards: int
+    epoch_cycles: int = DEFAULT_EPOCH_CYCLES
+    backend: str = "inproc"
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ShardConfigError("need at least one shard")
+        if self.epoch_cycles < 1:
+            raise ShardConfigError("epoch length must be at least one cycle")
+        if self.backend not in BACKENDS:
+            raise ShardConfigError(
+                f"unknown shard backend {self.backend!r}; "
+                f"known: {', '.join(BACKENDS)}"
+            )
+
+    @property
+    def bit_exact(self) -> bool:
+        """True when this plan reproduces serial statistics bit-for-bit.
+
+        Only the lock-step epoch (``E=1``) qualifies: the parent then
+        drives exactly the serial engine's executed-tick set, so every
+        counter — including tick-sensitive ones like
+        ``reservation_fails`` — matches. Larger epochs fast-forward each
+        SM independently and report drift instead.
+        """
+        return self.epoch_cycles == 1
+
+    @property
+    def identity_tag(self) -> "str | None":
+        """Registry identity tag, or ``None`` when results match serial.
+
+        Bit-exact plans share the serial engine's run ids (the results
+        are indistinguishable); relaxed plans get their own identity so
+        drifted metrics never collide with serial records under one id.
+        """
+        if self.bit_exact:
+            return None
+        return f"shard{self.num_shards}xE{self.epoch_cycles}"
+
+    def validate(self, config: GPUConfig) -> None:
+        """Check the plan against a concrete GPU configuration."""
+        if self.num_shards > config.num_sms:
+            raise ShardConfigError(
+                f"{self.num_shards} shards over {config.num_sms} SMs: "
+                "each shard needs at least one SM",
+                details={"shards": self.num_shards, "num_sms": config.num_sms},
+            )
+
+    def groups(self, num_sms: int) -> list[range]:
+        """Contiguous SM id ranges, one per shard (sizes differ by <= 1)."""
+        base, extra = divmod(num_sms, self.num_shards)
+        groups: list[range] = []
+        lo = 0
+        for shard in range(self.num_shards):
+            hi = lo + base + (1 if shard < extra else 0)
+            groups.append(range(lo, hi))
+            lo = hi
+        return groups
+
+    def worker_processes(self) -> int:
+        """OS processes this plan adds beyond the parent."""
+        return self.num_shards if self.backend == "process" else 0
+
+
+def resolve_plan(
+    shards: "int | None",
+    epoch_cycles: "int | None" = None,
+    backend: "str | None" = None,
+    *,
+    jobs: int = 1,
+) -> "ShardPlan | None":
+    """Build a plan from CLI-ish inputs, enforcing the worker budget.
+
+    Returns ``None`` when ``shards`` is unset (serial execution).
+    ``--jobs`` has precedence over the backend choice: under a parallel
+    sweep the process backend is refused rather than silently stacked.
+    """
+    if shards is None:
+        if epoch_cycles is not None or backend is not None:
+            raise ShardConfigError(
+                "--epoch-cycles/--shard-backend require --shards"
+            )
+        return None
+    chosen = backend or "inproc"
+    if jobs > 1 and chosen == "process":
+        raise ShardConfigError(
+            f"--jobs {jobs} already owns the process budget; shards inside "
+            "pool workers must use the in-process backend "
+            "(drop --shard-backend process or run with --jobs 1)",
+            details={"jobs": jobs, "shards": shards, "backend": chosen},
+        )
+    return ShardPlan(
+        num_shards=shards,
+        epoch_cycles=(
+            DEFAULT_EPOCH_CYCLES if epoch_cycles is None else epoch_cycles
+        ),
+        backend=chosen,
+    )
+
+
+def reject_unsupported(plan: "ShardPlan | None", **features: object) -> None:
+    """Raise :class:`ShardConfigError` for feature combos shards can't run.
+
+    ``features`` maps a human-readable flag name to its value; any truthy
+    value is an unsupported combination. Used by the CLI and the runner
+    so every entry point rejects the same set the same way.
+    """
+    if plan is None:
+        return
+    offending = sorted(name for name, value in features.items() if value)
+    if offending:
+        raise ShardConfigError(
+            f"--shards cannot be combined with: {', '.join(offending)} "
+            "(the epoch-barrier engine does not support these yet; "
+            "drop --shards or the conflicting flags)",
+            details={"unsupported": offending, "shards": plan.num_shards},
+        )

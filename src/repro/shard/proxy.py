@@ -1,0 +1,140 @@
+"""Per-SM memory proxy: defers boundary traffic into an ordered log.
+
+Inside a shard, each :class:`~repro.sm.pipeline.SMCore` talks to a
+:class:`ShardMemoryProxy` instead of the shared
+:class:`~repro.mem.subsystem.MemorySubsystem`. Everything SM-private
+(the L1, hit wake-ups, latency accounting) is served locally and
+immediately; everything that would touch the shared L2/DRAM — L1 misses,
+prefetch fills, write-through stores — is appended to the boundary log
+as ``(cycle, sm_id, seq, kind, line_addr)`` and resolved by the parent
+at the next epoch barrier.
+
+The per-SM ``seq`` counter preserves program order, so sorting the
+merged log by ``(cycle, sm_id, seq)`` reproduces exactly the order in
+which the serial engine's tick loop (SM 0..N-1, program order within an
+SM) would have presented the same requests to the L2.
+
+This relies on a load-bearing property of the L1: callers ignore the
+:data:`~repro.mem.cache.MissForwarder` return value, and fill data only
+ever arrives through :meth:`~repro.mem.cache.L1Cache.fill` events — so a
+miss can be forwarded *later* without the issuing SM observing anything
+until its fill event lands.
+"""
+
+from __future__ import annotations
+
+from repro.config import GPUConfig
+from repro.mem.cache import L1Cache, MissForwarder
+from repro.mem.subsystem import EventQueue, _L1FillEvent
+from repro.stats.counters import SimStats
+
+#: Boundary request kinds (log entry field 3).
+REQ_MISS = 0
+REQ_PREFETCH = 1
+REQ_STORE = 2
+
+#: One log entry: (cycle, sm_id, seq, kind, line_addr).
+BoundaryEntry = tuple[int, int, int, int, int]
+
+
+class _ShardMissForwarder(MissForwarder):
+    """Per-L1 miss path into the boundary log (picklable MissForwarder)."""
+
+    __slots__ = ("proxy",)
+
+    def __init__(self, proxy: "ShardMemoryProxy"):
+        self.proxy = proxy
+
+    def __call__(self, line_addr: int, now: int, is_prefetch: bool) -> int:
+        return self.proxy.forward_miss(line_addr, now, is_prefetch)
+
+
+class ShardMemoryProxy:  # simlint: boundary[per-shard deferred L2/DRAM exchange: drained serially at epoch barriers]
+    """One SM's stand-in for the memory subsystem inside a shard.
+
+    Mirrors the :class:`~repro.mem.subsystem.MemorySubsystem` surface the
+    SM pipeline touches (``events``, ``store``, ``record_hit_latency``)
+    plus the L1 miss forwarder, but owns only SM-private state: a local
+    event queue, the boundary log, and the in-flight boundary count.
+    """
+
+    __slots__ = ("sm_id", "events", "log", "pending", "_stats",
+                 "_line_size", "_seq", "_l1")
+
+    def __init__(self, sm_id: int, config: GPUConfig, stats: SimStats):
+        self.sm_id = sm_id
+        #: SM-local time-ordered events: hit wake-ups and delivered fills.
+        self.events = EventQueue()
+        #: Boundary requests accumulated since the last barrier.
+        self.log: list[BoundaryEntry] = []
+        #: Misses forwarded but not yet answered by a barrier delivery.
+        self.pending = 0
+        self._stats = stats
+        self._line_size = config.l1.line_size
+        self._seq = 0
+        self._l1: "L1Cache | None" = None
+
+    def attach_l1(self, l1: L1Cache) -> None:
+        """Bind the lane's L1 (constructed after the proxy; see ShardLane)."""
+        self._l1 = l1
+
+    # ------------------------------------------------------------------
+    # MemorySubsystem surface used by the SM pipeline
+    # ------------------------------------------------------------------
+
+    def forward_miss(self, line_addr: int, now: int, is_prefetch: bool) -> int:
+        """Log an L1 miss for barrier replay; the fill arrives as an event.
+
+        The returned cycle is a placeholder — the L1's callers ignore it,
+        and the authoritative fill time is computed when the parent
+        replays the log through the shared L2/DRAM.
+        """
+        kind = REQ_PREFETCH if is_prefetch else REQ_MISS
+        self.log.append((now, self.sm_id, self._seq, kind, line_addr))
+        self._seq += 1
+        self.pending += 1
+        return -1
+
+    def record_hit_latency(self, latency: int) -> None:
+        """Fold L1 hits into the average-latency metric (Figure 13)."""
+        self._stats.memory.demand_latency_sum += latency
+        self._stats.memory.demand_latency_count += 1
+
+    def record_latency(self, issue_cycle: int, done_cycle: int) -> None:
+        """Demand-miss latency sink (the L1's ``stats_latency`` hook)."""
+        self._stats.memory.demand_latency_sum += done_cycle - issue_cycle
+        self._stats.memory.demand_latency_count += 1
+
+    def store(self, sm_id: int, line_addrs: list[int], now: int) -> None:
+        """Write-through stores: invalidate locally, log the L2 traffic."""
+        l1 = self._l1
+        assert l1 is not None
+        log = self.log
+        seq = self._seq
+        for line in line_addrs:
+            l1.store(line, now)
+            log.append((now, sm_id, seq, REQ_STORE, line))
+            seq += 1
+        self._seq = seq
+
+    # ------------------------------------------------------------------
+    # Barrier side
+    # ------------------------------------------------------------------
+
+    def drain_log(self) -> list[BoundaryEntry]:
+        """Hand the accumulated boundary log to the barrier and reset it."""
+        log = self.log
+        self.log = []
+        return log
+
+    def deliver_fill(self, line_addr: int, when: int) -> None:
+        """Schedule one barrier-resolved fill into the local event queue."""
+        self.events.schedule(when, _L1FillEvent(self._l1, line_addr))
+        self.pending -= 1
+
+    def pending_fill_events(self) -> int:
+        """Locally scheduled fill events (lane invariant checks)."""
+        return sum(
+            1 for _, callback in self.events.iter_pending()
+            if isinstance(callback, _L1FillEvent)
+        )

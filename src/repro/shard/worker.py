@@ -1,0 +1,226 @@
+"""Shard worker: a contiguous group of lanes plus their epoch protocol.
+
+A :class:`ShardWorker` owns the :class:`~repro.shard.lane.ShardLane`\\ s
+for one contiguous SM-id range and a private :class:`SimStats` that only
+those lanes write. Its whole interface is the epoch protocol:
+
+* :meth:`run_window` — deliver the barrier's fill completions, simulate
+  ``[start, end)`` on every non-quiesced lane, and return a
+  :class:`BarrierReport` with the drained boundary log and scheduling
+  hints. The report is a plain picklable tuple-of-ints affair, so the
+  same object crosses a pipe unchanged under the process backend.
+* :meth:`check_invariants` — the serial subsystem's conservation checks
+  restated for shard-local state (boundary-pending misses count toward
+  MSHR/fill conservation; stats accounting is valid per worker because
+  each counter is written by exactly one worker's lanes).
+
+The worker never touches the shared L2/DRAM — that pair lives in the
+parent and is replayed serially at barriers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import InvariantError
+from repro.shard.lane import WAIT_FOR_BARRIER, ShardLane
+from repro.shard.proxy import BoundaryEntry
+from repro.stats.counters import SimStats
+
+#: One barrier-resolved fill: (sm_id, line_addr, fill_cycle).
+FillDelivery = tuple[int, int, int]
+
+
+@dataclass(slots=True)
+class BarrierReport:
+    """What one worker tells the parent at an epoch barrier."""
+
+    #: Boundary requests accumulated this window, in per-lane order.
+    entries: list[BoundaryEntry]
+    #: True if any lane issued an instruction this window.
+    issued: bool
+    #: Earliest future cycle any non-quiesced lane has work, or ``None``.
+    wake: Optional[int]
+    #: True once every lane has quiesced (done, drained, nothing in flight).
+    all_quiesced: bool
+    #: Latest lane quiescence cycle seen so far, or ``None``.
+    max_quiesced_at: Optional[int]
+    #: Cumulative instructions issued by this worker's lanes.
+    instructions: int
+    #: Cumulative fills completed (MSHR releases) in this worker's L1s.
+    fills_completed: int
+
+
+class ShardWorker:
+    """One shard: a lane group, its stats, and the window/barrier cycle."""
+
+    __slots__ = ("worker_id", "lanes", "stats", "_by_sm")
+
+    def __init__(self, worker_id: int, lanes: Sequence[ShardLane],
+                 stats: SimStats):
+        self.worker_id = worker_id
+        self.lanes = list(lanes)
+        self.stats = stats
+        self._by_sm = {lane.sm_id: lane for lane in self.lanes}
+
+    def run_window(
+        self,
+        start: int,
+        end: int,
+        exact: bool,
+        deliveries: Sequence[FillDelivery] = (),
+    ) -> BarrierReport:
+        """Apply barrier deliveries, simulate ``[start, end)``, and report.
+
+        Deliveries are scheduled before any lane runs, so a fill due at
+        cycle ``c`` inside the window is observed by its lane exactly at
+        ``c`` — same as the serial engine's shared event queue. The
+        parent guarantees ``fill_cycle >= start`` (clamping, and counting
+        clamps as drift, happens on its side).
+        """
+        by_sm = self._by_sm
+        for sm_id, line_addr, fill_cycle in deliveries:
+            lane = by_sm[sm_id]
+            lane.proxy.deliver_fill(line_addr, fill_cycle)
+            if lane.sleep_until is not None and fill_cycle < lane.sleep_until:
+                lane.sleep_until = fill_cycle
+        issued = False
+        entries: list[BoundaryEntry] = []
+        wake: Optional[int] = None
+        all_quiesced = True
+        max_quiesced: Optional[int] = None
+        for lane in self.lanes:
+            if lane.quiesced_at is None:
+                sleep = lane.sleep_until
+                if sleep is not None and sleep >= end:
+                    # Nothing can happen to this lane before the window
+                    # ends: don't even enter it. The skipped cycles are
+                    # pure idle, reconstructed by the engine's identity.
+                    all_quiesced = False
+                    if sleep != WAIT_FOR_BARRIER and (
+                            wake is None or sleep < wake):
+                        wake = sleep
+                    continue
+                if lane.run_window(start, end, exact):
+                    issued = True
+            if lane.quiesced_at is None:
+                all_quiesced = False
+                sleep = lane.sleep_until
+                if sleep == WAIT_FOR_BARRIER:
+                    hint = None
+                elif sleep is not None:
+                    hint = sleep
+                else:
+                    hint = lane.wake_hint(end - 1)
+                if hint is not None and (wake is None or hint < wake):
+                    wake = hint
+            elif max_quiesced is None or lane.quiesced_at > max_quiesced:
+                max_quiesced = lane.quiesced_at
+            entries.extend(lane.proxy.drain_log())
+        return BarrierReport(
+            entries=entries,
+            issued=issued,
+            wake=wake,
+            all_quiesced=all_quiesced,
+            max_quiesced_at=max_quiesced,
+            instructions=self.stats.instructions,
+            fills_completed=self.fills_completed,
+        )
+
+    @property
+    def fills_completed(self) -> int:
+        """Total MSHR releases across this worker's L1s (watchdog signal)."""
+        return sum(lane.l1.mshrs.released_total for lane in self.lanes)
+
+    @property
+    def engine_events(self) -> int:
+        """Scheduler + prefetcher bookkeeping events (energy model input)."""
+        return sum(
+            lane.scheduler.events + lane.prefetcher.events
+            for lane in self.lanes
+        )
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+
+    def check_invariants(self, now: int) -> None:
+        """Serial subsystem invariants restated over shard-local state.
+
+        Per-lane MSHR conservation is boundary-aware (handled by
+        :meth:`ShardLane.check_invariants`); the stats accounting and
+        prefetch-conservation checks hold per worker because this
+        worker's ``stats`` is written only by its own lanes.
+        """
+        for lane in self.lanes:
+            mshrs = lane.l1.mshrs
+            live = len(mshrs)
+            if live > mshrs.capacity:
+                self._violate(
+                    now, f"L1[{lane.sm_id}] holds {live} MSHR entries over "
+                    f"capacity {mshrs.capacity}")
+            if live != mshrs.allocated_total - mshrs.released_total:
+                self._violate(
+                    now, f"L1[{lane.sm_id}] MSHR leak: {live} live entries "
+                    f"but {mshrs.allocated_total} allocated - "
+                    f"{mshrs.released_total} released")
+            lane.check_invariants(now)
+        l1_stats = self.stats.l1
+        if l1_stats.hits + l1_stats.misses != l1_stats.accesses:
+            self._violate(
+                now, f"L1 accounting: {l1_stats.hits} hits + "
+                f"{l1_stats.misses} misses != {l1_stats.accesses} accesses")
+        if (l1_stats.cold_misses + l1_stats.capacity_conflict_misses
+                != l1_stats.misses):
+            self._violate(
+                now, f"L1 miss classes: {l1_stats.cold_misses} cold + "
+                f"{l1_stats.capacity_conflict_misses} capacity/conflict != "
+                f"{l1_stats.misses} misses")
+        live_prefetch = sum(
+            lane.l1.mshrs.live_prefetch_only for lane in self.lanes)
+        accounted = (
+            l1_stats.prefetch_fills
+            + l1_stats.prefetch_demand_merged
+            + live_prefetch
+        )
+        if l1_stats.prefetch_issued != accounted:
+            self._violate(
+                now, f"prefetch conservation: {l1_stats.prefetch_issued} "
+                f"issued != {l1_stats.prefetch_fills} fills + "
+                f"{l1_stats.prefetch_demand_merged} demand-merged + "
+                f"{live_prefetch} live prefetch-only MSHRs")
+        if (l1_stats.prefetch_useful + l1_stats.prefetch_early_evicted
+                > l1_stats.prefetch_fills):
+            self._violate(
+                now, f"prefetch outcomes: {l1_stats.prefetch_useful} useful "
+                f"+ {l1_stats.prefetch_early_evicted} early-evicted > "
+                f"{l1_stats.prefetch_fills} prefetch fills")
+
+    def _violate(self, now: int, message: str) -> None:
+        raise InvariantError(
+            f"shard {self.worker_id} invariant violated at cycle {now}: "
+            f"{message}",
+            details={
+                "cycle": now,
+                "shard": self.worker_id,
+                "invariant": message,
+            },
+        )
+
+    def describe(self) -> dict:
+        """JSON-ready snapshot of this worker's lanes (diagnostics)."""
+        return {
+            "worker": self.worker_id,
+            "sms": [lane.describe() for lane in self.lanes],
+            "mshrs": [
+                {
+                    "sm": lane.sm_id,
+                    "live": len(lane.l1.mshrs),
+                    "capacity": lane.l1.mshrs.capacity,
+                    "allocated_total": lane.l1.mshrs.allocated_total,
+                    "released_total": lane.l1.mshrs.released_total,
+                }
+                for lane in self.lanes
+            ],
+        }

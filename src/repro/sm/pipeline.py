@@ -18,7 +18,6 @@ from repro.config import GPUConfig
 from repro.isa.instructions import Instr, Op
 from repro.isa.program import KernelSpec
 from repro.mem.cache import AccessOutcome, L1Cache
-from repro.mem.coalescer import coalesce
 from repro.mem.request import LoadAccess
 from repro.mem.subsystem import MemorySubsystem
 from repro.prefetch.base import Prefetcher
@@ -181,6 +180,68 @@ class SMCore:
                 hint = w.ready_at
         return hint
 
+    def next_issuable_hint(self, now: int) -> Optional[int]:
+        """Earliest wake-up that could actually *issue*, LSU permitting.
+
+        Like :meth:`next_wake_hint`, but when the LSU replay queue is
+        full, warps whose next instruction is a load/store are skipped:
+        they cannot issue until a fill drains the queue, and fills arrive
+        as events (which are jump targets of their own). Used by the
+        sharded engine's relaxed mode to fast-forward past wake-ups that
+        would only charge structural stalls; the serial engine and the
+        lock-step mode keep using :meth:`next_wake_hint`, whose
+        tick-accurate stall accounting they preserve.
+        """
+        if len(self._replay) < self.LSU_QUEUE_DEPTH:
+            return self.next_wake_hint(now)
+        hint: Optional[int] = None
+        is_mem_at = self._is_mem_at
+        for w in self.warps:
+            if w.finished or w.outstanding or is_mem_at[w.pc_index]:
+                continue
+            if w.ready_at > now and (hint is None or w.ready_at < hint):
+                hint = w.ready_at
+        return hint
+
+    def has_pending_work(self, now: int) -> bool:
+        """True when :meth:`cycle` at ``now`` could do more than count idle.
+
+        Exactly the condition under which ``cycle(now)`` mutates anything
+        besides ``idle_cycles``: a parked load to retry, or a warp that
+        enters the candidate scan (even if it only charges an LSU
+        structural stall). The sharded engine's lock-step mode uses this
+        to skip inert SMs while reproducing the serial engine's counters
+        bit-for-bit.
+        """
+        if self._replay:
+            return True
+        for w in self.warps:
+            if not w.finished and not w.outstanding and w.ready_at <= now:
+                return True
+        return False
+
+    def pending_work_or_hint(self, now: int) -> tuple[bool, Optional[int]]:
+        """``(has_pending_work(now), wake hint)`` in a single warp scan.
+
+        The hint is only produced on the ``False`` branch (it is exactly
+        :meth:`next_wake_hint`, and — the replay queue being empty —
+        also :meth:`next_issuable_hint`); when there *is* pending work
+        the scan stops early and the hint is ``None``. Saves the sharded
+        lane a second full scan on event-only ticks.
+        """
+        if self._replay:
+            return True, None
+        hint: Optional[int] = None
+        for w in self.warps:
+            if w.finished or w.outstanding:
+                continue
+            ready_at = w.ready_at
+            if ready_at <= now:
+                return True, None
+            if hint is None or ready_at < hint:
+                hint = ready_at
+        return False, hint
+
     # ------------------------------------------------------------------
     # Cycle loop
     # ------------------------------------------------------------------
@@ -261,8 +322,9 @@ class SMCore:
         elif instr.op is Op.STORE:
             # Stores retire into the write path without blocking the warp.
             stats.store_instructions += 1
-            addrs = instr.addr_gen.addresses(warp.global_id, warp.iteration)
-            lines = coalesce(addrs, self._line_size)
+            _, lines = instr.addr_gen.coalesced(
+                warp.global_id, warp.iteration, self._line_size
+            )
             self._subsystem.store(self.sm_id, lines, now)
             warp.ready_at = now + 1
         else:
@@ -273,8 +335,9 @@ class SMCore:
     def _issue_load(self, warp: WarpContext, instr: Instr, now: int) -> None:
         addr_gen = instr.addr_gen
         assert addr_gen is not None
-        addrs = addr_gen.addresses(warp.global_id, warp.iteration)
-        lines = coalesce(addrs, self._line_size)
+        primary, lines = addr_gen.coalesced(
+            warp.global_id, warp.iteration, self._line_size
+        )
         # Stall on use: the warp resumes when its last request returns.
         warp.outstanding += len(lines)
         self.mem_requests_issued += len(lines)
@@ -287,14 +350,14 @@ class SMCore:
                     sm=self.sm_id,
                     warp=warp.warp_id,
                     pc=instr.pc,
-                    primary_addr=addrs[0],
+                    primary_addr=primary,
                     num_lines=len(lines),
                 )
             )
         pending = _PendingLoad(
             warp=warp,
             pc=instr.pc,
-            primary_addr=addrs[0],
+            primary_addr=primary,
             remaining=deque(lines),
             line_addrs=tuple(lines),
             line_hits=[],

@@ -108,6 +108,11 @@ class MemoryStats:  # simlint: boundary[aggregated counters: merged per epoch, t
         """Data moved toward the SMs plus store traffic (Figure 14)."""
         return self.bytes_l2_to_l1 + self.bytes_stored
 
+    def merge(self, other: "MemoryStats") -> None:
+        """Accumulate ``other`` into this bundle (aggregating shards)."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
 
 @dataclass
 class SimStats:  # simlint: boundary[aggregated counters: merged per epoch, tolerant of ordering]
@@ -138,3 +143,19 @@ class SimStats:  # simlint: boundary[aggregated counters: merged per epoch, tole
         this, so on-disk results stay diffable between runs.
         """
         return dataclasses.asdict(self)
+
+    def merge(self, other: "SimStats") -> None:
+        """Accumulate ``other``'s counters into this bundle.
+
+        Every field is an additive count, so merging per-shard bundles in
+        any order yields the same totals the serial engine accumulates
+        into its single shared instance. ``cycles`` is a timestamp rather
+        than a count and is intentionally *not* summed — the sharded
+        engine sets it from the global finish cycle.
+        """
+        for name in self.__dataclass_fields__:
+            if name in ("cycles", "l1", "memory"):
+                continue
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.l1.merge(other.l1)
+        self.memory.merge(other.memory)

@@ -32,6 +32,11 @@ class SubstepAddress(AddressGenerator):
     def primary_address(self, warp: int, iteration: int) -> int:
         return self.inner.primary_address(warp, iteration * self.total + self.step)
 
+    def coalesced(self, warp: int, iteration: int, line_size: int) -> tuple[int, list[int]]:
+        return self.inner.coalesced(
+            warp, iteration * self.total + self.step, line_size
+        )
+
 
 def build_kernel(spec: WorkloadSpec, scale: float = 1.0) -> KernelSpec:
     """Produce the kernel a warp executes for this workload.

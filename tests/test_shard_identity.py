@@ -1,0 +1,113 @@
+"""Lock-step (``epoch_cycles=1``) sharded execution is bit-identical to serial.
+
+The acceptance bar for the epoch-barrier engine: for every point in the
+smoke matrix, ``--shards N --epoch-cycles 1`` must reproduce the serial
+engine's ``SimStats`` exactly — every counter, including tick-sensitive
+stall attribution — plus the engine-event count, and consequently file
+under the *same* registry run id with the same payload hash.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.configs import CONFIGS, experiment_gpu_config
+from repro.registry.records import content_hash, run_record
+from repro.shard import DEFAULT_EPOCH_CYCLES, ShardPlan, shard_execute
+from repro.sm.simulator import simulate
+from repro.workloads.suite import workload
+from repro.workloads.synthetic import build_kernel
+
+#: Scheduler×prefetcher cross-section: the baseline, the paper's coupled
+#: engine, and one representative per scheduler family with a prefetcher.
+SMOKE_CONFIGS = ("base", "apres", "gto+str", "ccws+mta", "laws+sld")
+
+#: Irregular (BFS), thrashing (KM) — the shapes that stress the barrier.
+SMOKE_WORKLOADS = ("BFS", "KM")
+
+SMOKE_SCALE = 0.05
+
+
+def _simulate_both(workload_abbr: str, config_name: str, num_sms: int,
+                   shards: int, backend: str = "inproc"):
+    cfg = dataclasses.replace(experiment_gpu_config(), num_sms=num_sms)
+    kernel = build_kernel(workload(workload_abbr), SMOKE_SCALE)
+    engine = CONFIGS[config_name]
+    serial = simulate(kernel, cfg, engine.build)
+    plan = ShardPlan(num_shards=shards, epoch_cycles=1, backend=backend)
+    sharded, info = shard_execute(kernel, cfg, engine.build, plan)
+    return serial, sharded, info
+
+
+@pytest.mark.parametrize("config_name", SMOKE_CONFIGS)
+@pytest.mark.parametrize("workload_abbr", SMOKE_WORKLOADS)
+def test_lockstep_bit_identical_across_smoke_matrix(workload_abbr, config_name):
+    serial, sharded, info = _simulate_both(workload_abbr, config_name,
+                                           num_sms=2, shards=2)
+    assert info["bit_exact"] is True
+    assert sharded.stats.as_dict() == serial.stats.as_dict()
+    assert sharded.engine_events == serial.engine_events
+
+
+def test_lockstep_identical_with_uneven_shard_split():
+    # 3 shards over 4 SMs: groups of 2/1/1 — the merge order must not
+    # depend on how SMs are grouped.
+    serial, sharded, _ = _simulate_both("BFS", "apres", num_sms=4, shards=3)
+    assert sharded.stats.as_dict() == serial.stats.as_dict()
+
+
+def test_lockstep_identical_through_process_backend():
+    serial, sharded, info = _simulate_both("KM", "apres", num_sms=2,
+                                           shards=2, backend="process")
+    assert sharded.stats.as_dict() == serial.stats.as_dict()
+    assert info["attempts"] == 1 and not info["degraded"]
+
+
+def test_lockstep_registry_record_matches_serial_run_id_and_payload():
+    from repro.experiments import runner
+
+    runner.clear_cache()
+    serial = runner.run("KM", "apres", scale=SMOKE_SCALE, shard_plan=None)
+    runner.clear_cache()
+    sharded = runner.run("KM", "apres", scale=SMOKE_SCALE,
+                         shard_plan=ShardPlan(2, 1))
+    cfg = experiment_gpu_config()
+    rec_serial = run_record(serial, SMOKE_SCALE, cfg)
+    rec_sharded = run_record(sharded, SMOKE_SCALE, cfg,
+                             engine_tag=ShardPlan(2, 1).identity_tag)
+    # Lock-step shares the serial lineage: same run id, same payload hash.
+    assert ShardPlan(2, 1).identity_tag is None
+    assert rec_sharded.run_id == rec_serial.run_id
+    payload = lambda r: content_hash(  # noqa: E731 - tiny local helper
+        {"metrics": r.metrics, "data": r.data}
+    )
+    assert payload(rec_sharded) == payload(rec_serial)
+
+
+def test_lockstep_and_serial_share_runner_cache_key():
+    from repro.experiments.runner import cache_key
+
+    assert cache_key("KM", "apres", 0.1, None, ShardPlan(4, 1)) == \
+        cache_key("KM", "apres", 0.1, None, None)
+    relaxed = cache_key("KM", "apres", 0.1, None,
+                        ShardPlan(4, DEFAULT_EPOCH_CYCLES))
+    assert relaxed != cache_key("KM", "apres", 0.1, None, None)
+    assert relaxed[-1] == f"shard4xE{DEFAULT_EPOCH_CYCLES}"
+
+
+def test_relaxed_records_get_their_own_identity():
+    from repro.experiments import runner
+
+    runner.clear_cache()
+    plan = ShardPlan(2, DEFAULT_EPOCH_CYCLES)
+    result = runner.run("KM", "apres", scale=SMOKE_SCALE, shard_plan=plan)
+    cfg = experiment_gpu_config()
+    record = run_record(result, SMOKE_SCALE, cfg, engine_tag=plan.identity_tag)
+    assert record.identity["engine"] == f"shard2xE{DEFAULT_EPOCH_CYCLES}"
+    serial_record = run_record(
+        runner.run("KM", "apres", scale=SMOKE_SCALE, shard_plan=None),
+        SMOKE_SCALE, cfg)
+    assert record.run_id != serial_record.run_id
+    assert record.data["shard"]["bit_exact"] is False

@@ -1,0 +1,106 @@
+"""Deterministic barrier merge: log ordering and grouping invariance.
+
+The shard engine's determinism argument rests on one property: sorting
+the union of per-shard boundary logs by ``(cycle, sm_id, seq)``
+reproduces exactly the order in which the serial tick loop (SM 0..N-1,
+program order within an SM) presents requests to the shared L2. These
+tests pin the log format and that invariance directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.experiments.configs import CONFIGS, experiment_gpu_config
+from repro.shard import ShardPlan, shard_execute
+from repro.shard.proxy import (
+    REQ_MISS,
+    REQ_PREFETCH,
+    REQ_STORE,
+    ShardMemoryProxy,
+)
+from repro.sm.simulator import simulate
+from repro.stats.counters import SimStats
+from repro.workloads.suite import workload
+from repro.workloads.synthetic import build_kernel
+
+
+def _proxy(sm_id: int) -> ShardMemoryProxy:
+    return ShardMemoryProxy(sm_id, experiment_gpu_config(), SimStats())
+
+
+def test_proxy_log_entries_preserve_program_order():
+    proxy = _proxy(3)
+    proxy.forward_miss(0x100, now=7, is_prefetch=False)
+    proxy.forward_miss(0x140, now=7, is_prefetch=True)
+    proxy.forward_miss(0x180, now=9, is_prefetch=False)
+    assert proxy.log == [
+        (7, 3, 0, REQ_MISS, 0x100),
+        (7, 3, 1, REQ_PREFETCH, 0x140),
+        (9, 3, 2, REQ_MISS, 0x180),
+    ]
+    assert proxy.pending == 3
+
+
+def test_proxy_drain_hands_off_and_resets():
+    proxy = _proxy(0)
+    proxy.forward_miss(0x200, now=1, is_prefetch=False)
+    first = proxy.drain_log()
+    assert first == [(1, 0, 0, REQ_MISS, 0x200)]
+    assert proxy.drain_log() == []
+    # seq keeps counting across barriers so merged order stays total.
+    proxy.forward_miss(0x240, now=2, is_prefetch=False)
+    assert proxy.drain_log() == [(2, 0, 1, REQ_MISS, 0x240)]
+
+
+def test_merged_logs_sort_into_serial_presentation_order():
+    # Two proxies emitting at interleaved cycles: sorting the union must
+    # order by cycle first, then SM id, then per-SM program order —
+    # exactly the serial tick loop's visit order.
+    a, b = _proxy(0), _proxy(1)
+    b.forward_miss(0x40, now=5, is_prefetch=False)
+    a.forward_miss(0x80, now=5, is_prefetch=False)
+    a.forward_miss(0xC0, now=5, is_prefetch=False)
+    b.forward_miss(0x00, now=4, is_prefetch=False)
+    merged = a.drain_log() + b.drain_log()
+    merged.sort()
+    assert merged == [
+        (4, 1, 1, REQ_MISS, 0x00),
+        (5, 0, 0, REQ_MISS, 0x80),
+        (5, 0, 1, REQ_MISS, 0xC0),
+        (5, 1, 0, REQ_MISS, 0x40),
+    ]
+
+
+def test_store_entries_share_the_sequence_counter():
+    proxy = _proxy(2)
+
+    class _L1Stub:
+        def store(self, line, now):
+            pass
+
+    proxy.attach_l1(_L1Stub())
+    proxy.forward_miss(0x300, now=3, is_prefetch=False)
+    proxy.store(2, [0x340, 0x380], now=3)
+    assert proxy.log == [
+        (3, 2, 0, REQ_MISS, 0x300),
+        (3, 2, 1, REQ_STORE, 0x340),
+        (3, 2, 2, REQ_STORE, 0x380),
+    ]
+
+
+def test_lockstep_stats_independent_of_shard_grouping():
+    # The same run split 2 ways and 3 ways must merge to identical stats
+    # — the barrier order depends only on (cycle, sm_id, seq), never on
+    # which shard carried the SM.
+    cfg = dataclasses.replace(experiment_gpu_config(), num_sms=6)
+    kernel = build_kernel(workload("BFS"), 0.05)
+    engine = CONFIGS["apres"].build
+    serial = simulate(kernel, cfg, engine)
+    by_grouping = [
+        shard_execute(kernel, cfg, engine, ShardPlan(shards, 1))[0]
+        for shards in (2, 3, 6)
+    ]
+    for sharded in by_grouping:
+        assert sharded.stats.as_dict() == serial.stats.as_dict()
+        assert sharded.engine_events == serial.engine_events

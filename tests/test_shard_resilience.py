@@ -1,0 +1,94 @@
+"""Shard-worker loss mid-epoch: kill-and-requeue, then degrade to serial.
+
+The process backend's barrier replies double as heartbeats. These tests
+inject deterministic worker faults through the ``shard.window`` hook —
+``crash`` is an ``os._exit`` that models SIGKILL/OOM (the parent sees
+pipe EOF), ``hang`` is a self-SIGSTOP (heartbeats cease, the supervisor
+deadline fires) — and assert the engine's two promises:
+
+* a transient loss is retried with fresh workers and **converges to the
+  bit-identical result** a clean run produces;
+* a permanent loss (every attempt faulted) **degrades to the serial
+  engine** instead of failing the run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.experiments.configs import CONFIGS, experiment_gpu_config
+from repro.resilience.faults import FaultEvent, FaultPlan
+from repro.resilience.supervisor import SupervisorConfig
+from repro.shard import ShardPlan, shard_execute
+from repro.sm.simulator import simulate
+from repro.workloads.suite import workload
+from repro.workloads.synthetic import build_kernel
+
+SCALE = 0.05
+PLAN = ShardPlan(num_shards=2, epoch_cycles=1, backend="process")
+
+
+def _fixture():
+    cfg = dataclasses.replace(experiment_gpu_config(), num_sms=2)
+    kernel = build_kernel(workload("KM"), SCALE)
+    return kernel, cfg, CONFIGS["apres"].build
+
+
+def test_worker_crash_mid_epoch_retries_and_converges():
+    kernel, cfg, engine = _fixture()
+    serial = simulate(kernel, cfg, engine)
+    faults = FaultPlan(events=[FaultEvent("shard.window", 2, "crash")])
+    result, info = shard_execute(
+        kernel, cfg, engine, PLAN,
+        supervisor=SupervisorConfig(fault_plan=faults))
+    # First attempt dies at window 2 (pipe EOF); the requeue re-forks
+    # clean workers and the retried attempt is attempt-gated past the
+    # fault — the final statistics are the serial ones, bit for bit.
+    assert info["attempts"] == 2
+    assert not info["degraded"]
+    assert len(info["failures"]) == 1 and "lost" in info["failures"][0]
+    assert result.stats.as_dict() == serial.stats.as_dict()
+    assert result.engine_events == serial.engine_events
+
+
+def test_worker_hang_detected_by_deadline_and_retried():
+    kernel, cfg, engine = _fixture()
+    serial = simulate(kernel, cfg, engine)
+    faults = FaultPlan(events=[FaultEvent("shard.window", 1, "hang")])
+    result, info = shard_execute(
+        kernel, cfg, engine, PLAN,
+        supervisor=SupervisorConfig(deadline_s=1.0, fault_plan=faults))
+    assert info["attempts"] == 2
+    assert not info["degraded"]
+    assert "deadline" in info["failures"][0]
+    assert result.stats.as_dict() == serial.stats.as_dict()
+
+
+def test_permanently_poisoned_window_degrades_to_serial():
+    kernel, cfg, engine = _fixture()
+    serial = simulate(kernel, cfg, engine)
+    faults = FaultPlan(events=[
+        FaultEvent("shard.window", 0, "crash", every_attempt=True)])
+    result, info = shard_execute(
+        kernel, cfg, engine, PLAN,
+        supervisor=SupervisorConfig(max_attempts=2, fault_plan=faults))
+    # Every attempt crashes at the first window; past max_attempts the
+    # engine falls back to the serial simulator rather than failing.
+    assert info["degraded"] is True
+    assert info["attempts"] == 2
+    assert len(info["failures"]) == 2
+    assert result.stats.as_dict() == serial.stats.as_dict()
+    assert result.engine_events == serial.engine_events
+
+
+def test_inproc_backend_never_retries():
+    # The in-process backend has no worker processes to lose; a single
+    # attempt with no failure machinery engaged is the whole story.
+    kernel, cfg, engine = _fixture()
+    _, info = shard_execute(
+        kernel, cfg, engine, ShardPlan(2, 1),
+        supervisor=SupervisorConfig(
+            fault_plan=FaultPlan(events=[
+                FaultEvent("shard.window", 0, "crash", every_attempt=True)])))
+    assert info["attempts"] == 1
+    assert not info["degraded"] and info["failures"] == []
