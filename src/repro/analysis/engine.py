@@ -354,7 +354,7 @@ def load_module(path: Path, cache_stats: Optional[dict[str, int]] = None) -> "Mo
 
 
 def default_rules() -> list[Rule]:
-    """Fresh instances of every registered rule (SL001–SL010)."""
+    """Fresh instances of every registered rule (SL001–SL011)."""
     from repro.analysis.rules import build_all_rules
 
     return build_all_rules()

@@ -1,4 +1,4 @@
-"""Built-in simlint rules (SL001–SL010).
+"""Built-in simlint rules (SL001–SL011).
 
 Each rule lives in its own module and registers here. ``build_all_rules``
 returns fresh instances for one engine run — rules carry per-run state
@@ -15,6 +15,7 @@ from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.frozen_config import FrozenConfigRule
 from repro.analysis.rules.global_state import GlobalStateRule
 from repro.analysis.rules.hotpath_slots import HotPathSlotsRule
+from repro.analysis.rules.metrics_names import MetricNamesRule
 from repro.analysis.rules.paper_golden import PaperGoldenRule
 from repro.analysis.rules.picklability import PicklabilityRule
 from repro.analysis.rules.registries import RegistryCompletenessRule
@@ -33,6 +34,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     RobustIORule,
     SharedStateRule,
     GlobalStateRule,
+    MetricNamesRule,
 )
 
 

@@ -65,8 +65,16 @@ bit-identical to serial — same metrics, same registry run ids; larger
 recorded under its own engine tag so drifted statistics never mix with
 the serial lineage. Shards compose with ``--jobs`` only in-process:
 ``--jobs`` owns the process budget, so ``--shard-backend process`` with
-a pool is refused, as are ``--telemetry``/``--trace-dir``/trace capture
-under shards.
+a pool is refused. ``--telemetry``/``--trace-out``/``--intervals-out``
+(and sweep's ``--trace-dir``) work under shards: each lane records into
+per-lane buffers and the parent merges them at every epoch barrier, so
+lock-step (``E=1``) telemetry artifacts are byte-identical to serial
+(see :mod:`repro.shard.telemetry`).
+
+``run``, ``sweep`` and ``figure`` accept ``--metrics-out FILE`` to dump
+the process-wide operational metrics registry (counters, gauges,
+histograms — see :mod:`repro.telemetry.metrics`) as JSON, plus a
+Prometheus textfile next to it (``FILE.prom``).
 
 ``run``, ``sweep``, ``figure``, ``table`` and ``scorecard`` ingest their
 results into the registry (``bench_results/registry`` by default,
@@ -222,6 +230,23 @@ def _stall_rows(report: dict) -> list:
     return rows
 
 
+def _maybe_write_metrics(args: argparse.Namespace) -> None:
+    """Export the operational metrics registry when ``--metrics-out`` asks.
+
+    Written last, after the command's work, so the export reflects every
+    counter the run touched (shard windows, cache hits, retries, ...).
+    """
+    out = getattr(args, "metrics_out", None)
+    if not out:
+        return
+    from repro.telemetry.metrics import write_metrics
+
+    if os.path.dirname(out):
+        os.makedirs(os.path.dirname(out), exist_ok=True)
+    prom_path = write_metrics(out)
+    print(f"metrics: {out} (+ {prom_path})")
+
+
 def _resolve_shard_plan(args: argparse.Namespace, jobs: int = 1):
     """The ShardPlan the ``--shards`` flags describe, or None (serial)."""
     from repro.shard import resolve_plan
@@ -254,11 +279,8 @@ def _print_shard_info(info: Optional[dict]) -> None:
 def _cmd_run(args: argparse.Namespace) -> int:
     import time
 
-    from repro.shard import reject_unsupported
-
     hub = _build_run_hub(args)
     plan = _resolve_shard_plan(args)
-    reject_unsupported(plan, telemetry=hub is not None)
     gpu_config = _limited_gpu_config(args)
     started = time.perf_counter()
     result = run(args.app, args.config, scale=args.scale,
@@ -304,6 +326,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             engine_tag=plan.identity_tag if plan is not None else None,
         ))
         print(f"registry: {record.run_id} -> {registry.root}")
+    _maybe_write_metrics(args)
     return 0
 
 
@@ -497,6 +520,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         set_default_shard_plan(None)
     _FIGURE_PRINTERS[args.number](payload)
     _ingest_figure(args, name, payload, args.scale, apps)
+    _maybe_write_metrics(args)
     return 0
 
 
@@ -512,12 +536,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return EXIT_REPRO_ERROR
 
     jobs = _resolved_jobs(args)
-    from repro.shard import reject_unsupported
-
     plan = _resolve_shard_plan(args, jobs=jobs)
-    reject_unsupported(plan,
-                       telemetry=args.telemetry or bool(args.trace_dir),
-                       trace_dir=args.trace_dir)
     # One writer for progress lines and (parallel) worker heartbeats, so
     # concurrent sources never interleave mid-line.
     writer = ProgressWriter()
@@ -584,6 +603,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if summary.quarantined_keys:
         print("quarantined points (resume skips; --retry-failed re-attempts): "
               + ", ".join(summary.quarantined_keys))
+    _maybe_write_metrics(args)
     return 1 if summary.failed else 0
 
 
@@ -596,6 +616,59 @@ BENCH_SIM_SPEED = os.path.join("bench_results", "BENCH_sim_speed.json")
 #: Where ``repro bench --shards-axis`` writes the serial-vs-sharded
 #: cycles/second comparison.
 BENCH_SHARD_SPEED = os.path.join("bench_results", "BENCH_shard_speed.json")
+
+#: Where ``repro bench --telemetry-axis`` writes the telemetry-overhead
+#: measurement backing DESIGN.md's table.
+BENCH_TELEMETRY_OVERHEAD = os.path.join(
+    "bench_results", "BENCH_telemetry_overhead.json")
+
+
+def _cmd_bench_telemetry(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.bench import run_telemetry_bench
+
+    kwargs = {"scale": args.scale}
+    if args.repeats:
+        kwargs["repeats"] = args.repeats
+    payload = run_telemetry_bench(**kwargs)
+
+    out = args.out or BENCH_TELEMETRY_OVERHEAD
+    directory = os.path.dirname(out)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    atomic_write(out, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        rows = []
+        for mode, cells in payload["modes"].items():
+            for label, cell in cells.items():
+                rows.append([
+                    mode, label, f"{cell['wall_s']:.3f}",
+                    f"{cell['cycles_per_s']:,.0f}",
+                    f"{cell['overhead_pct_vs_off']:+.1f}%",
+                ])
+        print(format_table(
+            ["Telemetry", "Engine", "Wall s", "Cycles/s", "vs off"], rows,
+            title=(f"Telemetry overhead ({payload['workload']}/"
+                   f"{payload['config']}, scale={payload['scale']}, "
+                   f"median of {payload['repeats']})")))
+        head = payload["headline"]
+        print(f"headline: stalls {head['stalls_overhead_pct']:+.1f}%, "
+              f"trace {head['trace_overhead_pct']:+.1f}%, "
+              f"stalls-under-shards {head['shard_stalls_overhead_pct']:+.1f}% "
+              "(each vs the same engine with telemetry off)")
+        print(f"bench json: {out}")
+    registry = _registry(args)
+    if registry is not None:
+        from repro.registry.records import bench_record
+
+        record = registry.put(bench_record(payload))
+        if not args.json:
+            print(f"registry: {record.run_id} -> {registry.root}")
+    return 0
 
 
 def _cmd_bench_shards(args: argparse.Namespace) -> int:
@@ -669,11 +742,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         run_bench,
     )
 
+    if args.shards_axis and args.telemetry_axis:
+        raise ReproError("--shards-axis and --telemetry-axis are separate "
+                         "bench modes; pick one")
     if args.shards_axis:
         return _cmd_bench_shards(args)
+    if args.telemetry_axis:
+        return _cmd_bench_telemetry(args)
     if args.shards or args.epoch_cycles:
         raise ReproError("--shards/--epoch-cycles only apply to "
                          "bench --shards-axis")
+    if args.repeats:
+        raise ReproError("--repeats only applies to bench --telemetry-axis")
     points = DEFAULT_POINTS
     if args.apps:
         points = tuple((app, config) for app, config in DEFAULT_POINTS
@@ -992,6 +1072,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="re-simulate points even when the registry "
                                 "already archives their records")
 
+    def add_metrics_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="dump the operational metrics registry as JSON "
+                            "to FILE plus a Prometheus textfile (FILE.prom)")
+
     def add_shard_flags(p: argparse.ArgumentParser) -> None:
         from repro.shard import BACKENDS
 
@@ -1025,6 +1110,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_integrity_flags(p_run)
     add_registry_flag(p_run)
     add_shard_flags(p_run)
+    add_metrics_flag(p_run)
 
     p_trace = sub.add_parser(
         "trace",
@@ -1066,6 +1152,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_parallel_flags(p_fig)
     add_shard_flags(p_fig)
     add_registry_flag(p_fig)
+    add_metrics_flag(p_fig)
 
     p_val = sub.add_parser("validate", help="check the reproduction's shape claims")
     p_val.add_argument("--scale", type=float, default=0.5)
@@ -1115,6 +1202,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_shard_flags(p_sweep)
     add_integrity_flags(p_sweep)
     add_registry_flag(p_sweep)
+    add_metrics_flag(p_sweep)
 
     p_bench = sub.add_parser(
         "bench",
@@ -1143,6 +1231,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--epoch-cycles", type=int, default=None, metavar="E",
                          help="with --shards-axis: barrier interval "
                               "(default: the engine default, 64)")
+    p_bench.add_argument("--telemetry-axis", action="store_true",
+                         help="benchmark telemetry overhead instead: off vs "
+                              "stalls vs full trace, serial vs the lock-step "
+                              "2-shard merge, written to "
+                              f"{BENCH_TELEMETRY_OVERHEAD}")
+    p_bench.add_argument("--repeats", type=int, default=None, metavar="R",
+                         help="with --telemetry-axis: interleaved repeats "
+                              "per cell (default 5, median reported)")
     add_registry_flag(p_bench)
 
     p_score = sub.add_parser(
@@ -1245,7 +1341,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit the fsck report as JSON on stdout")
 
     p_lint = sub.add_parser(
-        "lint", help="simulator-aware static analysis (simlint SL001-SL010)"
+        "lint", help="simulator-aware static analysis (simlint SL001-SL011)"
     )
     from repro.analysis.cli import add_lint_arguments
 

@@ -247,3 +247,115 @@ def run_shard_bench(
         },
         "provenance": collect_provenance(),
     }
+
+
+#: Telemetry modes the overhead bench compares. ``off`` is the baseline
+#: (no hub), ``stalls`` is what ``--telemetry`` costs (stall engine +
+#: interval collector, no event objects), ``trace`` is the full event
+#: stream into a Chrome trace builder (``--trace-out``).
+TELEMETRY_BENCH_MODES: tuple[str, ...] = ("off", "stalls", "trace")
+
+#: Workload/config cell for the overhead bench: the thrashing workload
+#: under the paper's engine — the densest stall/event stream in the suite.
+TELEMETRY_BENCH_POINT: tuple[str, str] = ("KM", "apres")
+
+
+def run_telemetry_bench(
+    scale: float = DEFAULT_SCALE,
+    point: tuple[str, str] = TELEMETRY_BENCH_POINT,
+    repeats: int = 5,
+    window: int = 5_000,
+) -> dict[str, Any]:
+    """Telemetry overhead: off vs stalls vs full trace, serial vs sharded.
+
+    Times every (mode, engine) cell ``repeats`` times with the cells
+    interleaved inside each repeat and reduced to the median, gc disabled
+    around the timed region — the same noise discipline as the shard
+    bench. The sharded engine is the lock-step plan (``2 shards, E=1``),
+    i.e. the byte-identical distributed-telemetry merge, so the "shards"
+    column prices the per-lane recording + parent merge, not a different
+    simulation. Hub construction is timed too: the CLI pays it per run.
+
+    The payload backs DESIGN.md's measured-overhead table; overhead
+    percentages are relative to the same engine's ``off`` mode.
+    """
+    from repro.experiments.configs import CONFIGS, experiment_gpu_config
+    from repro.registry.provenance import collect_provenance
+    from repro.shard import ShardPlan, shard_execute
+    from repro.sm.simulator import simulate
+    from repro.telemetry import TelemetryHub
+    from repro.workloads.suite import workload
+    from repro.workloads.synthetic import build_kernel
+
+    app, config = point
+    cfg = experiment_gpu_config()
+    engine = CONFIGS[config]
+    kernel = build_kernel(workload(app), scale)
+    engines: list[tuple[str, Optional[ShardPlan]]] = [
+        ("serial", None), ("shard2xE1", ShardPlan(2, 1))]
+
+    def build_hub(mode: str) -> Optional[TelemetryHub]:
+        if mode == "off":
+            return None
+        return TelemetryHub(window=window, trace=(mode == "trace"))
+
+    walls: dict[tuple[str, str], list[float]] = {}
+    cycles: dict[tuple[str, str], int] = {}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            for mode in TELEMETRY_BENCH_MODES:
+                for label, plan in engines:
+                    started = time.perf_counter()
+                    hub = build_hub(mode)
+                    if plan is None:
+                        sim = simulate(kernel, cfg, engine.build,
+                                       telemetry=hub)
+                    else:
+                        sim, _ = shard_execute(kernel, cfg, engine.build,
+                                               plan, telemetry=hub)
+                    wall_s = time.perf_counter() - started
+                    walls.setdefault((mode, label), []).append(wall_s)
+                    cycles[(mode, label)] = sim.stats.cycles
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    cells: dict[str, dict[str, Any]] = {}
+    for mode in TELEMETRY_BENCH_MODES:
+        per_engine: dict[str, Any] = {}
+        for label, _plan in engines:
+            wall_s = statistics.median(walls[(mode, label)])
+            baseline = statistics.median(walls[("off", label)])
+            per_engine[label] = {
+                "wall_s": wall_s,
+                "cycles": cycles[(mode, label)],
+                "cycles_per_s": (
+                    cycles[(mode, label)] / wall_s if wall_s > 0 else 0.0
+                ),
+                "overhead_pct_vs_off": (
+                    100.0 * (wall_s - baseline) / baseline
+                    if baseline > 0 else 0.0
+                ),
+            }
+        cells[mode] = per_engine
+    return {
+        "schema": "bench.telemetry_overhead/1",
+        "scale": scale,
+        "workload": app,
+        "config": config,
+        "num_sms": cfg.num_sms,
+        "window": window,
+        "repeats": repeats,
+        "modes": cells,
+        "headline": {
+            "stalls_overhead_pct":
+                cells["stalls"]["serial"]["overhead_pct_vs_off"],
+            "trace_overhead_pct":
+                cells["trace"]["serial"]["overhead_pct_vs_off"],
+            "shard_stalls_overhead_pct":
+                cells["stalls"]["shard2xE1"]["overhead_pct_vs_off"],
+        },
+        "provenance": collect_provenance(),
+    }

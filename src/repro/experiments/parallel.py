@@ -40,6 +40,7 @@ from typing import Any, Callable, Iterable, Iterator, Optional, Sequence, TextIO
 from repro.config import GPUConfig
 from repro.resilience import faults
 from repro.resilience.supervisor import SupervisedPool, SupervisorConfig
+from repro.telemetry.export import TelemetrySink
 
 #: One prewarmable runner point: (workload, config_name, scale, gpu_config).
 RunPoint = tuple[str, str, float, Optional[GPUConfig]]
@@ -86,13 +87,16 @@ class ProgressWriter:
             self._stream.flush()
 
 
-class QueueHeartbeatSink:
+class QueueHeartbeatSink(TelemetrySink):
     """Telemetry interval sink that forwards worker heartbeats to the parent.
 
     Installed on the per-point :class:`~repro.telemetry.TelemetryHub`
     inside pool workers; each interval becomes one small tuple on a
     manager queue, which the parent's :class:`HeartbeatRelay` renders
-    through the shared :class:`ProgressWriter`.
+    through the shared :class:`ProgressWriter`. Subclassing
+    :class:`~repro.telemetry.export.TelemetrySink` matters: the hub calls
+    ``finish``/``reset`` on every attached sink at run close and shard
+    retry, and a bare duck-typed sink would crash there.
     """
 
     def __init__(self, queue: Any, key: str):

@@ -17,9 +17,10 @@ from typing import Optional
 
 from repro.config import GPUConfig
 from repro.experiments.configs import CONFIGS, experiment_gpu_config
-from repro.shard import ShardPlan, reject_unsupported, shard_execute
+from repro.shard import ShardPlan, shard_execute
 from repro.sm.simulator import SimulationResult, simulate
 from repro.stats.energy import EnergyModel, EnergyReport
+from repro.telemetry.metrics import get_registry
 from repro.workloads.suite import workload
 from repro.workloads.synthetic import build_kernel
 
@@ -180,23 +181,23 @@ def run(
     ``shard_plan`` switches the point to the epoch-barrier sharded
     engine (default: the process-wide plan installed by the CLI's
     ``--shards``; pass ``None`` explicitly to force serial). Telemetry
-    hubs bind to the serial simulator's shared event queue, so combining
-    them with a shard plan raises
-    :class:`~repro.errors.ShardConfigError` rather than silently
-    dropping events.
+    hubs combine with shard plans since the distributed-telemetry merge:
+    lanes record into per-lane buffers and the parent merges them into
+    the hub at every epoch barrier (see :mod:`repro.shard.telemetry`).
     """
     if config_name not in CONFIGS:
         known = ", ".join(sorted(CONFIGS))
         raise ValueError(f"unknown config {config_name!r}; known: {known}")
     plan = _effective_plan(shard_plan)
-    reject_unsupported(plan, telemetry=telemetry is not None)
     cfg = gpu_config or experiment_gpu_config()
     key = cache_key(workload_abbr, config_name, scale, cfg, plan)
     if telemetry is None:
         cached = _CACHE.get(key)
         if cached is not None:
             _CACHE.move_to_end(key)
+            get_registry().counter("registry.cache.hits").inc()
             return cached
+        get_registry().counter("registry.cache.misses").inc()
 
     spec = workload(workload_abbr)
     kernel = build_kernel(spec, scale)
@@ -206,7 +207,8 @@ def run(
         sim = simulate(kernel, cfg, engine.build, telemetry=telemetry)
     else:
         sim, shard_info = shard_execute(
-            kernel, cfg, engine.build, plan, supervisor=shard_supervisor
+            kernel, cfg, engine.build, plan, supervisor=shard_supervisor,
+            telemetry=telemetry,
         )
     energy = EnergyModel().report(
         sim.stats, apres_events=sim.engine_events, num_sms=cfg.num_sms

@@ -361,6 +361,23 @@ def bench_record(payload: Mapping[str, Any]) -> RunRecord:
                 metrics[f"{label}_speedup"] = totals["speedup_vs_serial"]
         return _record("bench", "shard_speed", identity, metrics,
                        data=dict(payload))
+    if str(payload.get("schema", "")).startswith("bench.telemetry_overhead"):
+        identity = {
+            "bench": "telemetry_overhead",
+            "scale": payload.get("scale"),
+            "workload": payload.get("workload"),
+            "config": payload.get("config"),
+            "num_sms": payload.get("num_sms"),
+            "window": payload.get("window"),
+        }
+        metrics = {}
+        for mode, cells in (payload.get("modes") or {}).items():
+            for label, cell in (cells or {}).items():
+                metrics[f"{mode}_{label}_wall_s"] = cell.get("wall_s", 0.0)
+                metrics[f"{mode}_{label}_overhead_pct"] = cell.get(
+                    "overhead_pct_vs_off", 0.0)
+        return _record("bench", "telemetry_overhead", identity, metrics,
+                       data=dict(payload))
     identity = {
         "bench": "sim_speed",
         "scale": payload.get("scale"),

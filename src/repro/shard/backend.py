@@ -33,6 +33,7 @@ from repro.resilience import faults
 from repro.resilience.supervisor import SupervisorConfig
 from repro.shard.worker import BarrierReport, FillDelivery, ShardWorker
 from repro.stats.counters import SimStats
+from repro.telemetry import flight
 
 #: Exit code of a fault-injected shard crash (mirrors the pool workers).
 _CRASH_EXIT = 73
@@ -177,6 +178,14 @@ class ProcessBackend:
     # ------------------------------------------------------------------
 
     def _lost(self, shard: int, kind: str) -> ShardWorkerLost:
+        flight.record(
+            "shard.worker_lost",
+            shard=shard, cause=kind, attempt=self._attempt,
+        )
+        flight.dump(
+            f"shard-worker-{kind}",
+            details={"shard": shard, "kind": kind, "attempt": self._attempt},
+        )
         self.close()
         return ShardWorkerLost(
             f"shard worker {shard} lost ({kind}) on attempt {self._attempt}",

@@ -50,10 +50,14 @@ from repro.shard.backend import make_backend
 from repro.shard.lane import ShardLane
 from repro.shard.plan import ShardPlan
 from repro.shard.proxy import REQ_STORE
+from repro.shard.telemetry import ShardTelemetryCoordinator
 from repro.shard.worker import FillDelivery, ShardWorker
 from repro.sm.pipeline import LoadObserver
 from repro.sm.simulator import EngineFactory, SimulationResult, simulate
 from repro.stats.counters import SimStats
+from repro.telemetry import flight
+from repro.telemetry.hub import TelemetryHub
+from repro.telemetry.metrics import get_registry
 
 
 class _BoundarySubsystem:
@@ -83,7 +87,8 @@ class ShardedGPUSimulator:
                  "_shared", "_workers", "_assignment", "_backend",
                  "_subsystem", "_now", "_prev_cycle", "_finished",
                  "_integrity", "watchdog", "_fills", "_engine_events",
-                 "windows_run", "clamped_fills", "max_clamp_cycles")
+                 "windows_run", "clamped_fills", "max_clamp_cycles",
+                 "_telemetry")
 
     def __init__(
         self,
@@ -94,6 +99,7 @@ class ShardedGPUSimulator:
         load_observers: Sequence[LoadObserver] = (),
         supervisor: Optional[SupervisorConfig] = None,
         attempt: int = 1,
+        telemetry: Optional[TelemetryHub] = None,
     ):
         plan.validate(config)
         if plan.backend == "process" and load_observers:
@@ -116,11 +122,26 @@ class ShardedGPUSimulator:
                 assignment[sm_id] = worker_id
         self._assignment = assignment
         worker_stats = [SimStats() for _ in groups]
+        #: Parent-side telemetry merge; lanes get recorders instead of
+        #: the serial SMTelemetry proxies. Built before the lanes (and
+        #: before any process-backend fork) so recorder injection works
+        #: identically for both backends.
+        self._telemetry = (
+            ShardTelemetryCoordinator(
+                telemetry, config, self._shared, exact=plan.bit_exact
+            )
+            if telemetry is not None
+            else None
+        )
         lanes: list[ShardLane] = []
         for sm_id in range(config.num_sms):
             lane = ShardLane(
                 sm_id, kernel, config, engine_factory,
                 worker_stats[assignment[sm_id]], load_observers,
+                recorder=(
+                    self._telemetry.make_recorder(sm_id)
+                    if self._telemetry is not None else None
+                ),
             )
             lanes.append(lane)
         self._workers = [
@@ -246,6 +267,14 @@ class ShardedGPUSimulator:
         num_workers = len(self._workers)
         assignment = self._assignment
         backend = self._backend
+        coordinator = self._telemetry
+        metrics = get_registry()
+        windows_metric = metrics.counter("shard.windows.run")
+        entries_metric = metrics.counter("shard.barrier.entries")
+        fills_metric = metrics.counter("shard.fills.delivered")
+        clamped_metric = metrics.counter("shard.fills.clamped")
+        wait_metric = metrics.counter("shard.barrier.wait_cycles")
+        span_metric = metrics.histogram("shard.window.span_cycles")
         start = 0
         deliveries: list[list[FillDelivery]] = [
             [] for _ in range(num_workers)
@@ -254,6 +283,7 @@ class ShardedGPUSimulator:
             end = start + epoch
             reports = backend.run_window(start, end, exact, deliveries)
             self.windows_run += 1
+            windows_metric.inc()
             deliveries = [[] for _ in range(num_workers)]
             # Deterministic barrier merge: (cycle, sm_id, seq) is exactly
             # the order the serial tick loop (SM 0..N-1 per tick, program
@@ -262,13 +292,26 @@ class ShardedGPUSimulator:
             for report in reports:
                 merged.extend(report.entries)
             merged.sort()
-            new_fills: list[FillDelivery] = []
-            for cycle, sm_id, _seq, kind, line_addr in merged:
-                if kind == REQ_STORE:
-                    self._shared.replay_store(line_addr, cycle)
-                else:
-                    fill = self._shared.replay_miss(line_addr, cycle)
-                    new_fills.append((sm_id, line_addr, fill))
+            entries_metric.inc(len(merged))
+            if coordinator is not None:
+                # The replay and the telemetry merge interleave (the
+                # DRAM-saturation probe must fire mid-replay), so the
+                # coordinator runs both; the fill list is identical.
+                new_fills = coordinator.process_window(
+                    merged, reports, start, end)
+            else:
+                new_fills = []
+                for cycle, sm_id, _seq, kind, line_addr in merged:
+                    if kind == REQ_STORE:
+                        self._shared.replay_store(line_addr, cycle)
+                    else:
+                        fill = self._shared.replay_miss(line_addr, cycle)
+                        new_fills.append((sm_id, line_addr, fill))
+            fills_metric.inc(len(new_fills))
+            flight.record(
+                "shard.barrier", start=start, end=end,
+                entries=len(merged), fills=len(new_fills),
+            )
             # Progress mirrors for the watchdog; the instruction mirror is
             # replaced by the real merge at finish.
             self.stats.instructions = sum(r.instructions for r in reports)
@@ -304,9 +347,17 @@ class ShardedGPUSimulator:
                         details=self.describe(now),
                     )
                 next_start = wake if wake > end else end
+            if coordinator is not None and next_start > end:
+                # Fast-forwarded span: every SM idles at its last-known
+                # cause, exactly the serial engine's on_skip charge.
+                coordinator.on_skip(next_start - end)
+            if next_start > end:
+                wait_metric.inc(next_start - end)
+            span_metric.observe(next_start - start)
             for sm_id, line_addr, fill in new_fills:
                 if fill < next_start:
                     self.clamped_fills += 1
+                    clamped_metric.inc()
                     clamp = next_start - fill
                     if clamp > self.max_clamp_cycles:
                         self.max_clamp_cycles = clamp
@@ -336,6 +387,8 @@ class ShardedGPUSimulator:
             self._config.num_sms * self.stats.cycles - self.stats.instructions
         )
         self._engine_events = engine_events
+        if self._telemetry is not None:
+            self._telemetry.finish(self.stats)
         return self.result()
 
     def result(self) -> SimulationResult:
@@ -371,6 +424,7 @@ def shard_execute(
     plan: ShardPlan,
     load_observers: Sequence[LoadObserver] = (),
     supervisor: Optional[SupervisorConfig] = None,
+    telemetry: Optional[TelemetryHub] = None,
 ) -> tuple[SimulationResult, dict]:
     """Run one kernel under ``plan`` with supervision; returns (result, info).
 
@@ -378,28 +432,49 @@ def shard_execute(
     are retried with fresh workers up to ``supervisor.max_attempts``;
     past that the run **degrades to the serial engine**, so a sharded
     invocation always returns a result for any workload the serial
-    engine can complete. ``info`` records the drift counters, attempts
-    used, and whether degradation happened.
+    engine can complete. A ``telemetry`` hub rides along on every path:
+    merged at barriers while sharded, unbound (partial output reset) on
+    a lost attempt, and bound conventionally if the run degrades.
+    ``info`` records the drift counters, attempts used, and whether
+    degradation happened.
     """
     sup = supervisor or SupervisorConfig()
     attempts = sup.max_attempts if plan.backend == "process" else 1
     failures: list[str] = []
+    metrics = get_registry()
     for attempt in range(1, max(1, attempts) + 1):
         engine = ShardedGPUSimulator(
             kernel, config, engine_factory, plan, load_observers,
-            supervisor=sup, attempt=attempt,
+            supervisor=sup, attempt=attempt, telemetry=telemetry,
         )
         try:
             result = engine.run()
         except ShardWorkerLost as exc:
             failures.append(str(exc))
+            metrics.counter("shard.worker.lost").inc()
+            metrics.counter("resilience.retries").inc()
+            flight.record(
+                "shard.attempt_lost",
+                kernel=kernel.name,
+                attempt=attempt,
+                error=str(exc),
+            )
+            if telemetry is not None:
+                telemetry.unbind()
             continue
         info = engine.drift_report()
         info["attempts"] = attempt
         info["degraded"] = False
         info["failures"] = failures
         return result, info
-    result = simulate(kernel, config, engine_factory, load_observers)
+    metrics.counter("shard.runs.degraded").inc()
+    flight.record(
+        "shard.degraded", kernel=kernel.name, attempts=attempts,
+        failures=len(failures),
+    )
+    result = simulate(
+        kernel, config, engine_factory, load_observers, telemetry=telemetry
+    )
     info = {
         "bit_exact": True,
         "epoch_cycles": plan.epoch_cycles,
@@ -421,10 +496,11 @@ def simulate_sharded(
     plan: ShardPlan,
     load_observers: Sequence[LoadObserver] = (),
     supervisor: Optional[SupervisorConfig] = None,
+    telemetry: Optional[TelemetryHub] = None,
 ) -> SimulationResult:
     """Convenience wrapper over :func:`shard_execute` (result only)."""
     result, _info = shard_execute(
         kernel, config, engine_factory, plan, load_observers,
-        supervisor=supervisor,
+        supervisor=supervisor, telemetry=telemetry,
     )
     return result

@@ -48,7 +48,7 @@ class ShardLane:
     """One SM plus its private L1, event queue and boundary proxy."""
 
     __slots__ = ("sm_id", "core", "l1", "proxy", "events", "quiesced_at",
-                 "sleep_until", "scheduler", "prefetcher")
+                 "sleep_until", "scheduler", "prefetcher", "recorder")
 
     def __init__(
         self,
@@ -58,6 +58,7 @@ class ShardLane:
         engine_factory,
         stats: SimStats,
         load_observers: Sequence[LoadObserver] = (),
+        recorder=None,
     ):
         scheduler, prefetcher = engine_factory()
         self.scheduler = scheduler
@@ -66,10 +67,21 @@ class ShardLane:
         l1 = L1Cache(config.l1, stats.l1, _ShardMissForwarder(proxy))
         l1.stats_latency = proxy.record_latency
         proxy.attach_l1(l1)
+        self.recorder = recorder
+        if recorder is not None and recorder.events:
+            # Event capture: swap in the tag-recording queue *before* the
+            # core is built and give the proxy the marker hook. The
+            # pipeline reads ``subsystem.events`` dynamically per call,
+            # so the swap is transparent to it.
+            from repro.shard.telemetry import _RecordingEventQueue
+            proxy.events = _RecordingEventQueue(recorder)
+            proxy.recorder = recorder
         core = SMCore(
             sm_id, config, kernel, scheduler, prefetcher, l1, proxy, stats
         )
         core.load_observers.extend(load_observers)
+        if recorder is not None:
+            core.attach_telemetry(recorder)
         self.sm_id = sm_id
         self.core = core
         self.l1 = l1
@@ -91,6 +103,9 @@ class ShardLane:
 
     def cycle(self, now: int) -> bool:
         """Advance this lane one cycle: drain due local events, then the core."""
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.begin_tick(now)
         self.events.run_until(now)
         return self.core.cycle(now)
 
@@ -105,10 +120,13 @@ class ShardLane:
         """
         core = self.core
         q = self.events
+        recorder = self.recorder
         issued_any = False
         self.sleep_until = None
         t = start
         while t < end:
+            if recorder is not None:
+                recorder.begin_tick(t)
             q.run_until(t)
             # Cycle only when the core could do more than count idle: a
             # skipped call is a pure ``idle_cycles`` increment (lock-step
@@ -118,6 +136,11 @@ class ShardLane:
             # and the same scan yields the wake hint for the jump below.
             execute, whint = core.pending_work_or_hint(t)
             issued = execute and core.cycle(t)
+            if recorder is not None and not execute:
+                # The core's telemetry hooks never ran this tick; record
+                # the idle classification ourselves (the replay queue is
+                # empty here, so MSHR gating is impossible).
+                recorder.record_inert(t, core)
             if issued:
                 issued_any = True
             # Quiescence is checked on every visited tick — including the

@@ -15,9 +15,12 @@ the composition rules of the ``--jobs`` x ``--shards`` matrix:
   engine; larger epochs relax synchronisation for speed and report the
   measured drift instead.
 
-Features the epoch engine cannot support yet (checkpointing mid-run,
-telemetry hubs, trace capture) are rejected here with a clear error
-rather than silently ignored.
+Telemetry (stall attribution, interval metrics, trace capture) runs
+under shards since the distributed-telemetry merge landed — see
+:mod:`repro.shard.telemetry`. The remaining genuinely unsupported combo
+(mid-run checkpointing: lane state cannot be snapshotted between
+barriers) is rejected here with a clear error rather than silently
+ignored.
 """
 
 from __future__ import annotations
@@ -146,6 +149,11 @@ def reject_unsupported(plan: "ShardPlan | None", **features: object) -> None:
     ``features`` maps a human-readable flag name to its value; any truthy
     value is an unsupported combination. Used by the CLI and the runner
     so every entry point rejects the same set the same way.
+
+    The set has shrunk to mid-run checkpointing: ``--telemetry``,
+    ``--trace-out`` and ``--intervals-out`` are now supported under
+    ``--shards`` (barrier-merged; see :mod:`repro.shard.telemetry`), and
+    the error says so to catch stale muscle memory.
     """
     if plan is None:
         return
@@ -153,7 +161,9 @@ def reject_unsupported(plan: "ShardPlan | None", **features: object) -> None:
     if offending:
         raise ShardConfigError(
             f"--shards cannot be combined with: {', '.join(offending)} "
-            "(the epoch-barrier engine does not support these yet; "
-            "drop --shards or the conflicting flags)",
+            "(lane state cannot be checkpointed between epoch barriers; "
+            "drop --shards or the conflicting flags — note that "
+            "--telemetry/--trace-out/--intervals-out ARE supported under "
+            "--shards now)",
             details={"unsupported": offending, "shards": plan.num_shards},
         )

@@ -58,7 +58,7 @@ class ShardMemoryProxy:  # simlint: boundary[per-shard deferred L2/DRAM exchange
     event queue, the boundary log, and the in-flight boundary count.
     """
 
-    __slots__ = ("sm_id", "events", "log", "pending", "_stats",
+    __slots__ = ("sm_id", "events", "log", "pending", "recorder", "_stats",
                  "_line_size", "_seq", "_l1")
 
     def __init__(self, sm_id: int, config: GPUConfig, stats: SimStats):
@@ -69,6 +69,9 @@ class ShardMemoryProxy:  # simlint: boundary[per-shard deferred L2/DRAM exchange
         self.log: list[BoundaryEntry] = []
         #: Misses forwarded but not yet answered by a barrier delivery.
         self.pending = 0
+        #: Event-capturing lane telemetry recorder, when tracing under
+        #: shards (see repro.shard.telemetry); None costs one identity test.
+        self.recorder = None
         self._stats = stats
         self._line_size = config.l1.line_size
         self._seq = 0
@@ -91,6 +94,11 @@ class ShardMemoryProxy:  # simlint: boundary[per-shard deferred L2/DRAM exchange
         """
         kind = REQ_PREFETCH if is_prefetch else REQ_MISS
         self.log.append((now, self.sm_id, self._seq, kind, line_addr))
+        recorder = self.recorder
+        if recorder is not None:
+            # Reserve the fill's serial schedule tag and leave a boundary
+            # marker where the shared-side L2/DRAM events belong.
+            recorder.on_forward(self._seq)
         self._seq += 1
         self.pending += 1
         return -1

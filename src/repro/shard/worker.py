@@ -50,6 +50,10 @@ class BarrierReport:
     instructions: int
     #: Cumulative fills completed (MSHR releases) in this worker's L1s.
     fills_completed: int
+    #: Lane telemetry payload for the parent-side merge, or ``None`` when
+    #: the run carries no telemetry (see repro.shard.telemetry). Plain
+    #: lists/tuples/dicts, so it pickles through the process backend.
+    telemetry: Optional[dict] = None
 
 
 class ShardWorker:
@@ -118,6 +122,9 @@ class ShardWorker:
             elif max_quiesced is None or lane.quiesced_at > max_quiesced:
                 max_quiesced = lane.quiesced_at
             entries.extend(lane.proxy.drain_log())
+        telemetry = None
+        if self.lanes and self.lanes[0].recorder is not None:
+            telemetry = self._telemetry_payload()
         return BarrierReport(
             entries=entries,
             issued=issued,
@@ -126,7 +133,57 @@ class ShardWorker:
             max_quiesced_at=max_quiesced,
             instructions=self.stats.instructions,
             fills_completed=self.fills_completed,
+            telemetry=telemetry,
         )
+
+    def _telemetry_payload(self) -> dict:
+        """Collect every lane's telemetry buffers for the barrier merge.
+
+        A lane that recorded no outcome this window was skipped entirely
+        (quiesced or sleeping) — provably inert, so its cached idle
+        classification stands for every tick of the window and is shipped
+        through ``inert`` instead.
+        """
+        from repro.shard.telemetry import NO_WARP
+        outcomes: list[tuple[int, int, int]] = []
+        inert: list[tuple[int, int]] = []
+        drain: list[tuple[int, list]] = []
+        cycle: list[tuple[int, list]] = []
+        occupancy: list[tuple[int, float]] = []
+        for lane in self.lanes:
+            recorder = lane.recorder
+            occupancy.append((lane.sm_id, lane.l1.mshr_occupancy))
+            lane_out, lane_drain, lane_cycle = recorder.take()
+            if lane_out:
+                outcomes.extend(
+                    (lane.sm_id, tick, code) for tick, code in lane_out
+                )
+            else:
+                inert.append((
+                    lane.sm_id,
+                    NO_WARP if lane.quiesced_at is not None
+                    else recorder.inert_code,
+                ))
+            if lane_drain:
+                drain.append((lane.sm_id, lane_drain))
+            if lane_cycle:
+                cycle.append((lane.sm_id, lane_cycle))
+        l1 = self.stats.l1
+        return {
+            "outcomes": outcomes,
+            "inert": inert,
+            "drain": drain,
+            "cycle": cycle,
+            "occupancy": occupancy,
+            "counters": (
+                self.stats.instructions,
+                l1.accesses,
+                l1.misses,
+                l1.prefetch_issued,
+                l1.prefetch_useful,
+                l1.prefetch_demand_merged,
+            ),
+        }
 
     @property
     def fills_completed(self) -> int:

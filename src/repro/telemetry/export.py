@@ -45,6 +45,9 @@ class TelemetrySink:
     def finish(self, final_cycle: int) -> None:
         """The run completed at ``final_cycle``; flush and close."""
 
+    def reset(self) -> None:
+        """Drop partial output from a failed attempt (shard retry path)."""
+
 
 class InMemorySink(TelemetrySink):
     """Buffers everything; the test suite's window into a run."""
@@ -53,6 +56,11 @@ class InMemorySink(TelemetrySink):
         self.events: list[Any] = []
         self.intervals: list[dict[str, Any]] = []
         self.final_cycle: Optional[int] = None
+
+    def reset(self) -> None:
+        self.events.clear()
+        self.intervals.clear()
+        self.final_cycle = None
 
     def on_event(self, event: Any) -> None:
         self.events.append(event)
@@ -87,6 +95,15 @@ class IntervalJSONLWriter(TelemetrySink):
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+
+    def reset(self) -> None:
+        """Discard records from a failed sharded attempt (truncate)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        if self.records_written:
+            open(self.path, "w", encoding="utf-8").close()
+            self.records_written = 0
 
     def __getstate__(self) -> dict[str, Any]:
         state = dict(self.__dict__)
@@ -229,6 +246,13 @@ class ChromeTraceBuilder(TelemetrySink):
                 }
             )
         self._open_loads.clear()
+
+    def reset(self) -> None:
+        """Drop a failed sharded attempt's events; topology is re-added
+        when the hub rebinds."""
+        self._trace_events.clear()
+        self._open_loads.clear()
+        self._flow_started.clear()
 
     # ------------------------------------------------------------------
     # Event renderers (one per kind that gets special treatment)

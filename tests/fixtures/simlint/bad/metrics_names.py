@@ -1,0 +1,20 @@
+"""Known-bad: metric emit sites drifting from the METRICS declarations."""
+
+METRICS = {
+    "harness.ticks.run": ("counter", "harness ticks executed"),
+    "harness.workers.alive": ("gauge", "live harness workers"),
+    "harness.orphan.declared": ("counter", "declared but never emitted"),
+}
+
+
+class Harness:
+    def __init__(self, registry):
+        self.registry = registry
+
+    def tick(self):
+        # Undeclared name: the runtime registry raises KeyError here.
+        self.registry.counter("harness.ticks.unknown").inc()
+        # Declared as a gauge, emitted via .counter(): TypeError at runtime.
+        self.registry.counter("harness.workers.alive").inc()
+        # Fine — declared counter emitted as a counter.
+        self.registry.counter("harness.ticks.run").inc()

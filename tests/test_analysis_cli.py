@@ -85,6 +85,7 @@ class TestJsonOutput:
         assert payload["summary"]["by_rule"] == {
             "SL001": 8, "SL002": 3, "SL003": 7, "SL004": 5, "SL005": 3,
             "SL006": 6, "SL007": 3, "SL008": 5, "SL009": 3, "SL010": 3,
+            "SL011": 3,
         }
         assert payload["files_scanned"] >= 8
         assert payload["runtime_check"] is None

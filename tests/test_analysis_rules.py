@@ -372,6 +372,44 @@ class TestSL010GlobalState:
         assert "registry.TABLE" in result.findings[0].message
 
 
+class TestSL011MetricNames:
+    def test_bad_fixture_fires_all_three_directions(self):
+        result = run_lint([BAD / "metrics_names.py"])
+        assert by_rule(result) == {"SL011": 3}
+        messages = " | ".join(f.message for f in result.findings)
+        assert "'harness.ticks.unknown' is emitted here but not declared" in messages
+        assert "declared as a gauge but emitted via .counter()" in messages
+        assert "'harness.orphan.declared' is declared in METRICS but never emitted" in messages
+
+    def test_good_fixture_clean(self):
+        assert run_lint([GOOD / "metrics_names.py"]).clean
+
+    def test_silent_without_metrics_dict(self, tmp_path):
+        # Emit sites alone (no METRICS in the tree) are not checkable.
+        target = tmp_path / "emit_only.py"
+        target.write_text(textwrap.dedent("""\
+            def tick(registry):
+                registry.counter("anything.goes").inc()
+        """))
+        assert run_lint([target]).clean
+
+    def test_orphan_check_needs_an_emit_site(self, tmp_path):
+        # Linting the declarations file alone must not report orphans.
+        target = tmp_path / "decls_only.py"
+        target.write_text(textwrap.dedent("""\
+            METRICS = {
+                "a.b": ("counter", "help"),
+            }
+        """))
+        assert run_lint([target]).clean
+
+    def test_real_metrics_module_matches_repo_emit_sites(self):
+        # The package-wide acceptance property, scoped to this rule: the
+        # real METRICS dict and every emit site in src/ agree.
+        result = run_lint([Path(repro.__file__).parent], rule_codes=["SL011"])
+        assert result.clean, [f.render() for f in result.findings]
+
+
 class TestIsolationReport:
     def test_good_tree_report_shape(self):
         from repro.analysis.effects import isolation_report_for
@@ -522,6 +560,7 @@ class TestFixtureTrees:
             "SL008": 5,
             "SL009": 3,
             "SL010": 3,
+            "SL011": 3,
         }
 
     def test_good_tree_is_clean(self):
@@ -622,7 +661,7 @@ class TestEngineBehaviour:
         assert payload["summary"]["by_rule"] == {"SL005": 3}
         assert set(payload["rules"]) == {
             "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
-            "SL008", "SL009", "SL010",
+            "SL008", "SL009", "SL010", "SL011",
         }
         for finding in payload["findings"]:
             assert set(finding) == {"path", "line", "col", "rule", "message"}

@@ -97,6 +97,33 @@ def test_lockstep_and_serial_share_runner_cache_key():
     assert relaxed[-1] == f"shard4xE{DEFAULT_EPOCH_CYCLES}"
 
 
+class TestRejectUnsupported:
+    """The unsupported set narrowed to checkpointing: telemetry flags
+    combine with shard plans since the distributed-telemetry merge."""
+
+    def test_nothing_truthy_passes(self):
+        from repro.shard import reject_unsupported
+
+        reject_unsupported(ShardPlan(2, 1))
+        reject_unsupported(ShardPlan(2, 1), checkpoint=False)
+
+    def test_serial_plan_is_never_rejected(self):
+        from repro.shard import reject_unsupported
+
+        reject_unsupported(None, checkpoint=True)
+
+    def test_checkpoint_under_shards_is_rejected_and_names_lifted_flags(self):
+        from repro.errors import ShardConfigError
+        from repro.shard import reject_unsupported
+
+        with pytest.raises(ShardConfigError) as excinfo:
+            reject_unsupported(ShardPlan(2, 64), checkpoint=True)
+        message = str(excinfo.value)
+        assert "checkpoint" in message
+        # The error advertises what this PR lifted, for stale muscle memory.
+        assert "--telemetry/--trace-out/--intervals-out ARE supported" in message
+
+
 def test_relaxed_records_get_their_own_identity():
     from repro.experiments import runner
 

@@ -1,0 +1,259 @@
+"""Distributed telemetry: sharded runs reproduce serial telemetry exactly.
+
+The acceptance bar extends the shard engine's bit-identity contract to
+the observability layer: under ``--shards N --epoch-cycles 1`` the
+merged stall attribution, interval records, event stream and Chrome
+trace must be byte-identical to a serial run with the same hub
+configuration, and the PR-3 reconciliation invariants must hold in the
+*merged* hub. Alongside that sit the run-wide metrics registry, the
+crash flight recorder, and the heartbeat plumbing under the process
+shard backend.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+
+import pytest
+
+from conftest import make_config
+from repro.experiments import runner
+from repro.experiments.configs import CONFIGS, experiment_gpu_config
+from repro.experiments.parallel import HeartbeatRelay, ProgressWriter, QueueHeartbeatSink
+from repro.experiments.sweep import ResultsStore, run_sweep, sweep_points
+from repro.resilience import faults
+from repro.resilience.faults import FaultEvent, FaultPlan
+from repro.resilience.supervisor import SupervisorConfig
+from repro.shard import ShardPlan, shard_execute
+from repro.shard.telemetry import ShardTelemetryCoordinator
+from repro.sm.simulator import simulate
+from repro.telemetry import TelemetryHub
+from repro.telemetry.export import InMemorySink, validate_chrome_trace
+from repro.workloads.suite import workload
+from repro.workloads.synthetic import build_kernel
+
+SCALE = 0.05
+
+#: Interval window small enough that a scale-0.05 run flushes several
+#: windows (the merge must be exact mid-run, not only at finish).
+WINDOW = 500
+
+
+@pytest.fixture(autouse=True)
+def fresh_run_cache():
+    runner.clear_cache()
+    yield
+    runner.clear_cache()
+
+
+@pytest.fixture(autouse=True)
+def disarmed():
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+def _instrumented_hub():
+    hub = TelemetryHub(window=WINDOW, trace=True)
+    sink = InMemorySink()
+    hub.add_event_sink(sink)
+    hub.add_interval_sink(sink)
+    return hub, sink
+
+
+def _serial_run(workload_abbr, config_name, num_sms):
+    cfg = dataclasses.replace(experiment_gpu_config(), num_sms=num_sms)
+    kernel = build_kernel(workload(workload_abbr), SCALE)
+    hub, sink = _instrumented_hub()
+    result = simulate(kernel, cfg, CONFIGS[config_name].build, telemetry=hub)
+    return hub, sink, result
+
+
+def _sharded_run(workload_abbr, config_name, num_sms, shards,
+                 backend="inproc", epoch_cycles=1):
+    cfg = dataclasses.replace(experiment_gpu_config(), num_sms=num_sms)
+    kernel = build_kernel(workload(workload_abbr), SCALE)
+    hub, sink = _instrumented_hub()
+    plan = ShardPlan(num_shards=shards, epoch_cycles=epoch_cycles,
+                     backend=backend)
+    result, info = shard_execute(kernel, cfg, CONFIGS[config_name].build,
+                                 plan, telemetry=hub)
+    return hub, sink, result, info
+
+
+def _fingerprint(hub, sink, result):
+    """Every byte the telemetry layer produces, JSON-canonicalised."""
+    return {
+        "stalls": json.dumps(hub.reconcile(result.stats), sort_keys=True),
+        "intervals": json.dumps(sink.intervals, sort_keys=True),
+        "events": [(type(e).kind, e.as_dict()) for e in sink.events],
+        "trace": json.dumps(hub.trace.build(), sort_keys=True),
+        "final_cycle": sink.final_cycle,
+    }
+
+
+class TestLockstepByteIdentity:
+    @pytest.mark.parametrize("workload_abbr,config_name", [
+        ("BFS", "apres"), ("KM", "base"), ("KM", "laws+sld"),
+    ])
+    def test_two_shard_merge_matches_serial(self, workload_abbr, config_name):
+        s_hub, s_sink, s_res = _serial_run(workload_abbr, config_name, 2)
+        h_hub, h_sink, h_res, info = _sharded_run(
+            workload_abbr, config_name, 2, shards=2)
+        assert info["bit_exact"] is True
+        assert h_res.stats.as_dict() == s_res.stats.as_dict()
+        serial = _fingerprint(s_hub, s_sink, s_res)
+        sharded = _fingerprint(h_hub, h_sink, h_res)
+        for channel in serial:
+            assert sharded[channel] == serial[channel], channel
+
+    def test_uneven_split_merge_matches_serial(self):
+        # 3 shards over 4 SMs (groups of 2/1/1): the merge order must not
+        # depend on how SMs are grouped into lanes.
+        s_hub, s_sink, s_res = _serial_run("BFS", "apres", 4)
+        h_hub, h_sink, h_res, _ = _sharded_run("BFS", "apres", 4, shards=3)
+        assert _fingerprint(h_hub, h_sink, h_res) == \
+            _fingerprint(s_hub, s_sink, s_res)
+
+    def test_process_backend_merge_matches_serial(self):
+        s_hub, s_sink, s_res = _serial_run("KM", "apres", 2)
+        h_hub, h_sink, h_res, info = _sharded_run(
+            "KM", "apres", 2, shards=2, backend="process")
+        assert info["attempts"] == 1 and not info["degraded"]
+        assert _fingerprint(h_hub, h_sink, h_res) == \
+            _fingerprint(s_hub, s_sink, s_res)
+
+    def test_merged_trace_validates(self):
+        h_hub, _, h_res, _ = _sharded_run("KM", "apres", 2, shards=2)
+        assert validate_chrome_trace(h_hub.trace.build()) == []
+
+    def test_merge_counts_events_into_the_metrics_registry(self):
+        from repro.telemetry.metrics import get_registry
+
+        counter = get_registry().counter("telemetry.events.merged")
+        before = counter.value
+        _, sink, _, _ = _sharded_run("KM", "base", 2, shards=2)
+        assert counter.value - before == len(sink.events)
+
+
+class TestRelaxedEpochs:
+    def test_relaxed_merge_still_reconciles_exactly(self):
+        # E=64 is not byte-identical to serial, but the exclusive-cause
+        # identities (issue==instructions, stalls==idle, partition==
+        # cycles*SMs) must still hold exactly in the merged hub —
+        # hub.reconcile raises InvariantError otherwise.
+        hub, sink, result, info = _sharded_run(
+            "BFS", "apres", 2, shards=2, epoch_cycles=64)
+        assert info["bit_exact"] is False
+        report = hub.reconcile(result.stats)
+        assert report["reconciliation"]["issue_matches_instructions"]
+        assert sink.intervals  # interval channel survives relaxed mode
+        assert validate_chrome_trace(hub.trace.build()) == []
+
+
+class TestUnsortedMergeIsCaught:
+    def test_tampered_merge_order_diverges_from_serial(self, monkeypatch):
+        """The CI byte-compare would catch a wrong merge: deliberately
+        feeding lane payloads in reversed order must change the event
+        stream (if it didn't, the identity tests above would be
+        vacuous)."""
+        original = ShardTelemetryCoordinator._feed_events_exact
+
+        def tampered(self, payloads, captured):
+            return original(self, list(reversed(list(payloads))), captured)
+
+        _, s_sink, _ = _serial_run("KM", "apres", 2)
+        monkeypatch.setattr(
+            ShardTelemetryCoordinator, "_feed_events_exact", tampered)
+        _, h_sink, _, _ = _sharded_run("KM", "apres", 2, shards=2)
+        serial_events = [(type(e).kind, e.as_dict()) for e in s_sink.events]
+        sharded_events = [(type(e).kind, e.as_dict()) for e in h_sink.events]
+        assert sharded_events != serial_events
+
+
+class TestRunnerAndSweepAcceptShardTelemetry:
+    def test_runner_accepts_hub_with_shard_plan(self):
+        hub, _ = _instrumented_hub()
+        sharded = runner.run("KM", "apres", scale=SCALE, telemetry=hub,
+                             shard_plan=ShardPlan(2, 1))
+        serial_hub, _ = _instrumented_hub()
+        runner.clear_cache()
+        serial = runner.run("KM", "apres", scale=SCALE, telemetry=serial_hub,
+                            shard_plan=None)
+        assert sharded.cycles == serial.cycles
+        assert hub.stall_summary(sharded.sim.stats) == \
+            serial_hub.stall_summary(serial.sim.stats)
+
+    def test_telemetry_sweep_on_process_shards_is_byte_identical(self, tmp_path):
+        cfg = make_config(num_sms=2)
+        points = sweep_points(["KM"], ("base",), (SCALE,))
+        serial = tmp_path / "serial.jsonl"
+        sharded = tmp_path / "sharded.jsonl"
+        run_sweep(points, str(serial), gpu_config=cfg, telemetry=True)
+        runner.clear_cache()
+        run_sweep(points, str(sharded), gpu_config=cfg, telemetry=True,
+                  shard_plan=ShardPlan(2, 1, backend="process"))
+        assert sharded.read_bytes() == serial.read_bytes()
+        record = next(iter(ResultsStore(str(sharded)).load().values()))
+        assert record["stalls"]["top_cause"]
+
+
+class TestHeartbeatsUnderProcessShards:
+    def test_relay_renders_merged_intervals_through_progress_writer(self):
+        # The process backend's barrier replies carry the lane telemetry;
+        # the merged hub flushes interval records parent-side, which is
+        # where a pool worker's QueueHeartbeatSink would sit. Wire the
+        # real relay + writer and require one rendered line per interval.
+        stream = io.StringIO()
+        relay = HeartbeatRelay(ProgressWriter(stream))
+        try:
+            cfg = dataclasses.replace(experiment_gpu_config(), num_sms=2)
+            kernel = build_kernel(workload("KM"), SCALE)
+            hub = TelemetryHub(window=WINDOW)
+            tap = InMemorySink()
+            hub.add_interval_sink(tap)
+            hub.add_interval_sink(
+                QueueHeartbeatSink(relay.queue, "KM|apres|0.05"))
+            plan = ShardPlan(num_shards=2, epoch_cycles=1, backend="process")
+            shard_execute(kernel, cfg, CONFIGS["apres"].build, plan,
+                          telemetry=hub)
+        finally:
+            relay.close()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == len(tap.intervals) > 0
+        for line, interval in zip(lines, tap.intervals):
+            assert line.startswith("[telemetry] KM|apres|0.05: cycle ")
+            assert f"cycle {interval['cycle_end']:,}" in line
+            assert f"IPC {interval['ipc']:.3f}" in line
+
+
+class TestFlightDumpOnWorkerCrash:
+    def test_poisoned_point_leaves_a_flight_dump_beside_quarantine(
+            self, tmp_path, monkeypatch):
+        dump_dir = tmp_path / "dumps"
+        monkeypatch.setenv("REPRO_DUMP_DIR", str(dump_dir))
+        faults.arm(FaultPlan(events=[
+            FaultEvent("worker.point", 0, "crash", every_attempt=True)]))
+        out = tmp_path / "poisoned.jsonl"
+        supervisor = SupervisorConfig(
+            deadline_s=2.0, heartbeat_interval_s=0.1, backoff_base_s=0.05,
+            backoff_cap_s=0.2, max_attempts=2)
+        summary = run_sweep(
+            sweep_points(["KM"], ("base",), (SCALE,)), str(out),
+            gpu_config=make_config(), jobs=2, supervisor=supervisor)
+        assert summary.quarantined_keys  # the quarantine record exists...
+        crash_dumps = sorted(dump_dir.glob("flight-pool-worker-crash-*.json"))
+        quarantine_dumps = sorted(
+            dump_dir.glob("flight-pool-quarantine-*.json"))
+        assert crash_dumps and quarantine_dumps  # ...and so do the dumps.
+
+        from repro.telemetry.flight import validate_flight_dump
+
+        payload = json.loads(quarantine_dumps[0].read_text())
+        assert validate_flight_dump(payload) == []
+        assert payload["details"]["kind"] == "worker-crash"
+        kinds = [event["kind"] for event in payload["events"]]
+        assert "pool.worker_death" in kinds
+        assert "pool.quarantine" in kinds
