@@ -204,6 +204,11 @@ def _ok_record(point: SweepPoint, result: RunResult, attempts: int) -> dict:
         # Relaxed plans report their measured drift; lock-step records
         # must stay byte-identical to serial ones, so they add nothing.
         record["shard"] = dict(shard_info)
+    sampling_info = getattr(result, "sampling_info", None)
+    if sampling_info is not None:
+        # Sampled records carry their full selection/weights/error-bar
+        # block: consumers (diff, scorecards) must see the uncertainty.
+        record["sampling"] = dict(sampling_info)
     return record
 
 
@@ -330,6 +335,7 @@ def run_sweep(
     retry_failed: bool = False,
     supervisor: Optional[Any] = None,
     shard_plan: Optional[Any] = None,
+    sampling_plan: Optional[Any] = None,
 ) -> SweepSummary:
     """Run every point, persisting each result to ``out_path`` as it lands.
 
@@ -378,15 +384,36 @@ def run_sweep(
     separate from serial results. Pool workers receive the plan with
     each task (the process-wide runner default does not cross the pool
     boundary).
+
+    ``sampling_plan`` (a :class:`~repro.sampling.SamplingPlan`) runs
+    every point on the sampled executor instead. Sampled records stamp
+    ``provenance["sampling"]`` with the plan tag, so their registry memo
+    lineage never collides with full-run results, and carry their
+    selection/weights/error-bar block under ``record["sampling"]``.
+    Sampling rejects telemetry and shard plans up front.
     """
     points = list(points)
     if shard_plan is None:
         from repro.experiments.runner import default_shard_plan
 
         shard_plan = default_shard_plan()
+    if sampling_plan is None:
+        from repro.experiments.runner import default_sampling_plan
+
+        sampling_plan = default_sampling_plan()
+    if sampling_plan is not None:
+        from repro.sampling import reject_unsupported
+
+        reject_unsupported(
+            sampling_plan,
+            telemetry=telemetry or trace_dir is not None,
+            sharded=shard_plan is not None,
+        )
     base_prov = _base_provenance(gpu_config)
     if shard_plan is not None and shard_plan.identity_tag:
         base_prov["engine"] = shard_plan.identity_tag
+    if sampling_plan is not None:
+        base_prov["sampling"] = sampling_plan.identity_tag
     store = ResultsStore(out_path)
     done: dict[str, dict] = {}
     quarantined_resume: dict[str, dict] = {}
@@ -465,7 +492,7 @@ def run_sweep(
             trace_dir=trace_dir, telemetry_window=telemetry_window,
             cache_lookup=cache_lookup if caching else None, jobs=jobs,
             heartbeat_writer=heartbeat_writer, supervisor=supervisor,
-            shard_plan=shard_plan,
+            shard_plan=shard_plan, sampling_plan=sampling_plan,
         )
         return summary
 
@@ -486,6 +513,7 @@ def run_sweep(
             trace_dir=trace_dir,
             telemetry_window=telemetry_window,
             shard_plan=shard_plan,
+            sampling_plan=sampling_plan,
         )
         record["provenance"] = provenance
         flush(point, record, cached=False)
@@ -509,6 +537,7 @@ def _run_pending_parallel(
     heartbeat_writer: Optional[Any],
     supervisor: Optional[Any] = None,
     shard_plan: Optional[Any] = None,
+    sampling_plan: Optional[Any] = None,
 ) -> None:
     """Fan pending points across a pool, flushing strictly in point order.
 
@@ -541,7 +570,7 @@ def _run_pending_parallel(
             retries=retries, backoff_s=backoff_s,
             point_timeout_s=point_timeout_s, telemetry=telemetry,
             trace_dir=trace_dir, telemetry_window=telemetry_window,
-            shard_plan=shard_plan,
+            shard_plan=shard_plan, sampling_plan=sampling_plan,
         ))
 
     relay = None
@@ -604,6 +633,7 @@ def _run_point(
     telemetry_window: int = 5_000,
     heartbeat_sink: Optional[Any] = None,
     shard_plan: Optional[Any] = None,
+    sampling_plan: Optional[Any] = None,
 ) -> dict:
     """Simulate one point with timeout + bounded retry; never raises
     :class:`ReproError` — failures become records.
@@ -634,6 +664,7 @@ def _run_point(
                     gpu_config=gpu_config,
                     telemetry=hub,
                     shard_plan=shard_plan,
+                    sampling_plan=sampling_plan,
                 )
             record = _ok_record(point, result, attempts)
             if hub is not None:

@@ -106,6 +106,16 @@ class SharedL2Core:  # simlint: boundary[authoritative L2/DRAM pair replayed ser
         self.dram = DRAMModel(config.dram, config.l1.line_size, stats.memory)
         self.l2 = L2Cache(config.l2, self.dram, stats.memory)
 
+    @property
+    def memory_stats(self):
+        """The authoritative L2/DRAM counter bundle this core charges.
+
+        The shard telemetry coordinator exposes it on its stats view so
+        interval metrics (``l2_miss_rate``) read the same counters in the
+        serial and sharded engines.
+        """
+        return self._stats.memory
+
     def replay_miss(self, line_addr: int, now: int) -> int:
         """Charge one L1 miss (demand or prefetch); returns the fill cycle."""
         fill_cycle = self.l2.access(line_addr, now)

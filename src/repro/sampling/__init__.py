@@ -1,0 +1,52 @@
+"""Sampled simulation: interval clustering + checkpoint-warmup execution.
+
+``--sampled`` replaces a full detailed run with (profile once, cluster
+interval signatures, re-simulate only representative intervals from
+bit-identical checkpoints, extrapolate weighted whole-run statistics
+with error bars). See DESIGN.md "Sampled simulation" for the estimator
+math, warmup policy and error model; ROADMAP item 2 for why this is the
+biggest lever on cycles/s.
+"""
+
+from repro.sampling.cluster import Cluster, kmedoids, zscore
+from repro.sampling.executor import sampled_run, verify_estimate
+from repro.sampling.plan import (
+    DEFAULT_INTERVAL_CYCLES,
+    DEFAULT_WARMUP_CYCLES,
+    SamplingPlan,
+    reject_unsupported,
+)
+from repro.sampling.profile import (
+    SIGNATURE_FEATURES,
+    ProfileInterval,
+    SampleProfile,
+    build_profile,
+)
+from repro.sampling.store import (
+    PROFILE_DIR_ENV,
+    ProfileStore,
+    default_store,
+    profile_key,
+    set_default_store,
+)
+
+__all__ = [
+    "Cluster",
+    "DEFAULT_INTERVAL_CYCLES",
+    "DEFAULT_WARMUP_CYCLES",
+    "PROFILE_DIR_ENV",
+    "ProfileInterval",
+    "ProfileStore",
+    "SIGNATURE_FEATURES",
+    "SampleProfile",
+    "SamplingPlan",
+    "build_profile",
+    "default_store",
+    "kmedoids",
+    "profile_key",
+    "reject_unsupported",
+    "sampled_run",
+    "set_default_store",
+    "verify_estimate",
+    "zscore",
+]

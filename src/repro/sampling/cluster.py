@@ -1,0 +1,139 @@
+"""Deterministic k-medoids over interval behaviour signatures.
+
+Representative-interval selection (SimPoint/SMARTS-style, see Bueno et
+al. in PAPERS.md) needs exactly one property beyond clustering quality:
+the same profile must always yield the same representatives, weights and
+therefore the same estimates — across processes, ``PYTHONHASHSEED``
+values and ``--jobs`` settings. Everything here is pure arithmetic over
+lists in index order: quantile-spaced initialisation over a sorted
+feature-norm order, fixed-order assignment sweeps, and index-based tie
+breaks. No randomness, no hash-ordered iteration.
+
+Medoids (actual intervals) rather than means, because a representative
+must be a *simulatable* interval — the executor restores its checkpoint
+and re-runs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+#: Assignment/update sweeps before giving up on convergence. k-medoids on
+#: a few hundred intervals converges in a handful of sweeps; the cap only
+#: bounds pathological oscillation.
+_MAX_SWEEPS = 64
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """One cluster: the medoid interval index and its members (sorted)."""
+
+    medoid: int
+    members: tuple[int, ...]
+
+
+def zscore(vectors: Sequence[Sequence[float]]) -> list[tuple[float, ...]]:
+    """Per-feature z-normalisation (constant features collapse to 0.0).
+
+    Clustering distances must not be dominated by whichever feature has
+    the largest raw magnitude (instruction counts vs miss-rate ratios).
+    """
+    if not vectors:
+        return []
+    dims = len(vectors[0])
+    n = len(vectors)
+    means = [sum(v[d] for v in vectors) / n for d in range(dims)]
+    stds = []
+    for d in range(dims):
+        var = sum((v[d] - means[d]) ** 2 for v in vectors) / n
+        stds.append(var ** 0.5)
+    out = []
+    for v in vectors:
+        out.append(tuple(
+            (v[d] - means[d]) / stds[d] if stds[d] > 0.0 else 0.0
+            for d in range(dims)
+        ))
+    return out
+
+
+def _sqdist(a: Sequence[float], b: Sequence[float]) -> float:
+    return sum((x - y) ** 2 for x, y in zip(a, b))
+
+
+def _initial_medoids(vectors: Sequence[Sequence[float]], k: int) -> list[int]:
+    """Quantile-spaced seeds along the feature-norm ordering.
+
+    Sorting by (norm, index) and picking evenly spaced positions spreads
+    the seeds across the behaviour range deterministically — the moral
+    equivalent of k-means++ without its randomness.
+    """
+    n = len(vectors)
+    order = sorted(range(n), key=lambda i: (sum(x * x for x in vectors[i]), i))
+    positions: list[int] = []
+    for j in range(k):
+        pos = (j * (n - 1)) // (k - 1) if k > 1 else 0
+        if pos not in positions:
+            positions.append(pos)
+    # Rounding collisions (k close to n) leave gaps; fill with the
+    # lowest unused positions so exactly k distinct seeds come out.
+    for pos in range(n):
+        if len(positions) == k:
+            break
+        if pos not in positions:
+            positions.append(pos)
+    return sorted(order[pos] for pos in positions)
+
+
+def _assign(vectors, medoids: list[int]) -> list[list[int]]:
+    members: list[list[int]] = [[] for _ in medoids]
+    for i, vec in enumerate(vectors):
+        best = 0
+        best_d = _sqdist(vec, vectors[medoids[0]])
+        for c in range(1, len(medoids)):
+            d = _sqdist(vec, vectors[medoids[c]])
+            if d < best_d:  # strict: ties keep the lowest cluster index
+                best, best_d = c, d
+        members[best].append(i)
+    return members
+
+
+def _medoid_of(vectors, members: list[int]) -> int:
+    best = members[0]
+    best_cost = None
+    for candidate in members:
+        cost = sum(_sqdist(vectors[candidate], vectors[m]) for m in members)
+        if best_cost is None or cost < best_cost:  # ties keep lowest index
+            best, best_cost = candidate, cost
+    return best
+
+
+def kmedoids(vectors: Sequence[Sequence[float]], k: int) -> list[Cluster]:
+    """Partition ``vectors`` into ``k`` clusters around medoid elements.
+
+    Returns clusters sorted by medoid index; every input index appears in
+    exactly one cluster. ``k`` is clamped to ``len(vectors)``.
+    """
+    n = len(vectors)
+    if n == 0:
+        return []
+    k = max(1, min(k, n))
+    medoids = _initial_medoids(vectors, k)
+    members = _assign(vectors, medoids)
+    for _ in range(_MAX_SWEEPS):
+        new_medoids = [
+            _medoid_of(vectors, ms) if ms else medoids[c]
+            for c, ms in enumerate(members)
+        ]
+        new_medoids.sort()
+        if new_medoids == medoids:
+            break
+        medoids = new_medoids
+        members = _assign(vectors, medoids)
+    clusters = [
+        Cluster(medoid=medoids[c], members=tuple(members[c]))
+        for c in range(len(medoids))
+        if members[c]
+    ]
+    clusters.sort(key=lambda cl: cl.medoid)
+    return clusters

@@ -1,0 +1,354 @@
+"""Sampled execution: measure representatives, extrapolate the whole run.
+
+The estimator (SimPoint/SMARTS lineage — see DESIGN.md "Sampled
+simulation" for the math):
+
+1. Profile the point once (:mod:`repro.sampling.profile`) into intervals
+   ``i`` with spans ``s_i`` and behaviour signatures; total cycles ``T``.
+2. Cluster signatures with deterministic k-medoids; cluster ``c`` has
+   cycle mass ``S_c = sum(s_i, i in c)``, giving the weight
+   ``w_c = S_c / T``. Its representative ``r_c`` is the member whose
+   profile-signature IPC is closest to the cluster's span-weighted mean
+   IPC — a selection (not estimation) step that cancels most of the
+   medoid-vs-cluster-mean bias, since IPC is the headline extrapolated
+   quantity.
+3. For each representative, restore the newest profile checkpoint at or
+   before ``start(r_c) - warmup``, re-simulate detail-on (unmeasured) to
+   the interval start, then measure counter deltas over ``[start, end)``.
+   Restore is bit-identical, so the measured region reproduces exactly
+   what the full run did there.
+4. Estimate every additive counter as ``X_hat = sum_c (S_c / s_rc) *
+   delta_c[X]`` — each representative's per-cycle behaviour imputed to
+   its whole cluster. ``cycles = T`` is structural (known from the
+   profile); ``idle_cycles`` derives from the issue/stall partition
+   identity ``instructions + idle == T * num_sms``.
+
+Only representative measurements and cluster weights feed the estimate;
+the profile's full-run totals are used solely to *measure* the estimation
+error in benches and CI gates. Error bars are the span-weighted
+within-cluster L1 dispersion of the profile signatures — an honest
+clustering-quality bound (wide when clustering is unrepresentative), not
+a statistical confidence interval; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.config import GPUConfig
+from repro.errors import SamplingError
+from repro.integrity.checkpoint import load_simulator_compressed
+from repro.sampling.cluster import Cluster, kmedoids, zscore
+from repro.sampling.plan import SamplingPlan
+from repro.sampling.profile import ProfileInterval, SampleProfile, build_simulator
+from repro.sampling.store import ProfileStore, default_store, profile_key
+from repro.sm.simulator import GPUSimulator, SimulationResult
+from repro.stats.counters import CacheStats, MemoryStats, SimStats
+
+#: Weight-vector consistency tolerance used by :func:`verify_estimate`
+#: (weights are exact rationals S_c/T computed in float).
+_WEIGHT_TOL = 1e-9
+
+
+def _stats_vector(stats: SimStats) -> dict[str, float]:
+    """Flat ``dotted.key -> value`` view of every SimStats counter."""
+    from repro.registry.records import flatten_metrics
+
+    return flatten_metrics(stats.as_dict())
+
+
+def _stats_from_vector(vector: dict[str, float], *, cycles: int,
+                       num_sms: int) -> SimStats:
+    """Rebuild a SimStats from an extrapolated counter vector.
+
+    Counters round to integers (they are estimates of counts);
+    ``cycles`` is structural and ``idle_cycles`` comes from the
+    issue/stall partition identity rather than extrapolation, so
+    ``ipc`` and the cycle accounting stay internally consistent.
+    """
+    stats = SimStats()
+    for name in dataclasses.fields(SimStats):
+        if name.name in ("cycles", "idle_cycles", "l1", "memory"):
+            continue
+        setattr(stats, name.name, round(vector.get(name.name, 0.0)))
+    for bundle, cls, prefix in ((stats.l1, CacheStats, "l1"),
+                                (stats.memory, MemoryStats, "memory")):
+        for name in dataclasses.fields(cls):
+            setattr(bundle, name.name,
+                    round(vector.get(f"{prefix}.{name.name}", 0.0)))
+    stats.cycles = cycles
+    stats.instructions = min(stats.instructions, cycles * num_sms)
+    stats.idle_cycles = cycles * num_sms - stats.instructions
+    return stats
+
+
+def _measure_representative(
+    profile: SampleProfile,
+    store: ProfileStore,
+    key: str,
+    interval: ProfileInterval,
+    warmup_cycles: int,
+    gpu_config: GPUConfig,
+) -> dict:
+    """Re-simulate one representative interval; return its counter deltas."""
+    target = interval.start - warmup_cycles
+    restore_cycle = 0
+    sim: Optional[GPUSimulator] = None
+    if target > 0:
+        best = None
+        for cycle in profile.checkpoint_cycles:
+            if cycle <= target and (best is None or cycle > best):
+                best = cycle
+        if best is not None:
+            blob = store.checkpoint_blob(key, best)
+            sim = load_simulator_compressed(blob)
+            restore_cycle = best
+    if sim is None:
+        sim = build_simulator(profile.workload, profile.config_name,
+                              profile.scale, gpu_config)
+    if interval.start > restore_cycle:
+        sim.step_until(interval.start)
+    if sim.current_cycle != interval.start:
+        raise SamplingError(
+            f"warmup did not land on the interval boundary: expected cycle "
+            f"{interval.start}, got {sim.current_cycle} (restored at "
+            f"{restore_cycle}) — checkpoint continuation is not bit-identical",
+            details={"interval": interval.index, "start": interval.start,
+                     "restored": restore_cycle, "got": sim.current_cycle},
+        )
+    before = _stats_vector(sim.stats)
+    before_events = sim.engine_events
+    finished = sim.step_until(interval.end)
+    end_cycle = sim.current_cycle
+    if end_cycle != interval.end or (
+            finished != (interval.end == profile.total_cycles)):
+        raise SamplingError(
+            f"measured region did not land on the interval end: expected "
+            f"cycle {interval.end}, got {end_cycle}",
+            details={"interval": interval.index, "end": interval.end,
+                     "got": end_cycle, "finished": finished},
+        )
+    after = _stats_vector(sim.stats)
+    delta = {name: after[name] - before.get(name, 0.0) for name in after}
+    return {
+        "interval": interval,
+        "delta": delta,
+        "delta_events": sim.engine_events - before_events,
+        "restore_cycle": restore_cycle,
+        "detailed_cycles": interval.end - restore_cycle,
+    }
+
+
+def _representative(profile: SampleProfile, cluster: Cluster) -> int:
+    """The cluster member to measure: IPC closest to the cluster mean.
+
+    The medoid is central in z-scored signature space, but the estimate
+    scales the representative's *IPC* over the whole cluster's cycle
+    mass, so the interval whose profile IPC best matches the cluster's
+    span-weighted mean IPC minimises the dominant bias term. Ties break
+    to the lowest interval index (determinism).
+    """
+    members = cluster.members
+    total_span = sum(profile.intervals[i].span for i in members)
+    mean_ipc = sum(
+        profile.intervals[i].metrics["ipc"] * profile.intervals[i].span
+        for i in members
+    ) / max(1, total_span)
+    best = members[0]
+    best_gap = abs(profile.intervals[best].metrics["ipc"] - mean_ipc)
+    for i in members[1:]:
+        gap = abs(profile.intervals[i].metrics["ipc"] - mean_ipc)
+        if gap < best_gap:
+            best, best_gap = i, gap
+    return best
+
+
+def _rates(interval: ProfileInterval, num_sms: int) -> dict[str, float]:
+    """Per-cycle rates of the bar-tracked metrics for one interval."""
+    span = interval.span or 1
+    accesses = interval.metrics["l1_accesses"]
+    return {
+        "instructions": interval.metrics["ipc"] * num_sms,
+        "l1.accesses": accesses / span,
+        "l1.misses": accesses * interval.metrics["l1_miss_rate"] / span,
+    }
+
+
+def _error_bars(profile: SampleProfile, clusters: list[Cluster],
+                reps: list[int]) -> dict:
+    """Span-weighted within-cluster L1 dispersion, as absolute count bars.
+
+    For metric rate ``r``: ``bar = sum_c sum_{i in c} s_i * |r_i - r_rc|``
+    — zero when every member behaves exactly like its representative
+    (perfect clustering), and wide when representatives are
+    unrepresentative.
+    """
+    totals = {"instructions": 0.0, "l1.accesses": 0.0, "l1.misses": 0.0}
+    for cluster, rep in zip(clusters, reps):
+        rep_rates = _rates(profile.intervals[rep], profile.num_sms)
+        for member in cluster.members:
+            interval = profile.intervals[member]
+            rates = _rates(interval, profile.num_sms)
+            for name in totals:
+                totals[name] += interval.span * abs(
+                    rates[name] - rep_rates[name])
+    bars = dict(totals)
+    bars["ipc"] = totals["instructions"] / max(1, profile.total_cycles)
+    return bars
+
+
+def sampled_run(
+    workload_abbr: str,
+    config_name: str,
+    scale: float,
+    gpu_config: GPUConfig,
+    plan: SamplingPlan,
+    store: Optional[ProfileStore] = None,
+) -> tuple[SimulationResult, dict]:
+    """Execute one point in sampled mode.
+
+    Returns ``(estimated SimulationResult, sampling_info)`` — the result
+    quacks exactly like a full run's (figures, energy and records consume
+    it unchanged), and ``sampling_info`` carries the selection, weights,
+    accounting and error bars for registry records and benches.
+    """
+    store = store or default_store()
+    profile, was_cached = store.get_or_build(
+        workload_abbr, config_name, scale, gpu_config, plan.interval_cycles)
+    key = profile_key(workload_abbr, config_name, scale, gpu_config,
+                      plan.interval_cycles)
+    intervals = profile.intervals
+    total = profile.total_cycles
+    k = plan.resolve_clusters(len(intervals))
+    clusters = kmedoids(zscore([iv.signature() for iv in intervals]), k)
+
+    est_vector: dict[str, float] = {}
+    est_events = 0.0
+    detailed_cycles = 0
+    weights: list[float] = []
+    representatives: list[dict] = []
+    rep_indices = [_representative(profile, cluster) for cluster in clusters]
+    for cluster, rep_index in zip(clusters, rep_indices):
+        rep = intervals[rep_index]
+        cluster_cycles = sum(intervals[m].span for m in cluster.members)
+        weight = cluster_cycles / total
+        weights.append(weight)
+        measured = _measure_representative(
+            profile, store, key, rep, plan.warmup_cycles, gpu_config)
+        scale_factor = cluster_cycles / rep.span
+        for name, value in measured["delta"].items():
+            est_vector[name] = est_vector.get(name, 0.0) + scale_factor * value
+        est_events += scale_factor * measured["delta_events"]
+        detailed_cycles += measured["detailed_cycles"]
+        representatives.append({
+            "cluster": len(representatives),
+            "interval": rep.index,
+            "start": rep.start,
+            "end": rep.end,
+            "span": rep.span,
+            "members": len(cluster.members),
+            "cluster_cycles": cluster_cycles,
+            "weight": weight,
+            "restore_cycle": measured["restore_cycle"],
+            "detailed_cycles": measured["detailed_cycles"],
+            "measured_instructions": measured["delta"].get(
+                "instructions", 0.0),
+        })
+
+    est_stats = _stats_from_vector(est_vector, cycles=total,
+                                   num_sms=profile.num_sms)
+    bars = _error_bars(profile, clusters, rep_indices)
+    est_ipc = est_stats.ipc
+    result = SimulationResult(
+        stats=est_stats,
+        engine_events=round(est_events),
+        config=gpu_config,
+        kernel_name=profile.kernel_name,
+    )
+    info = {
+        "mode": "sampled",
+        "plan": plan.identity(),
+        "profile": {
+            "key": key,
+            "cached": was_cached,
+            "intervals": len(intervals),
+            "checkpoints": len(profile.checkpoint_cycles),
+            "checkpoint_stride": profile.checkpoint_stride,
+        },
+        "clusters": len(clusters),
+        "num_sms": profile.num_sms,
+        "weights": weights,
+        "representatives": representatives,
+        "total_cycles": total,
+        "detailed_cycles": detailed_cycles,
+        "cycle_reduction": total / detailed_cycles if detailed_cycles else 0.0,
+        "estimates": {
+            "ipc": est_ipc,
+            "instructions": est_stats.instructions,
+        },
+        "error_bars": bars,
+        "error_bars_rel": {
+            "ipc": bars["ipc"] / est_ipc if est_ipc else 0.0,
+        },
+    }
+    return result, info
+
+
+def verify_estimate(info: dict) -> list[str]:
+    """Internal-consistency check of one ``sampling_info`` block.
+
+    Recomputes the weighted estimate from the per-representative
+    measurements embedded in the block; a corrupted weight vector (or
+    tampered estimate) fails loudly. Used by the CI negative gate and by
+    ``repro diff`` before trusting sampled error bars.
+    """
+    problems: list[str] = []
+    reps = info.get("representatives") or []
+    weights = info.get("weights") or []
+    total = info.get("total_cycles") or 0
+    if not reps:
+        return ["no representatives recorded"]
+    if len(weights) != len(reps):
+        problems.append(
+            f"weight vector length {len(weights)} != representatives "
+            f"{len(reps)}")
+        return problems
+    weight_sum = sum(weights)
+    if abs(weight_sum - 1.0) > _WEIGHT_TOL:
+        problems.append(f"weights sum to {weight_sum!r}, expected 1.0")
+    est_instructions = 0.0
+    for rep, weight in zip(reps, weights):
+        if weight <= 0.0:
+            problems.append(f"cluster {rep.get('cluster')}: weight "
+                            f"{weight!r} not positive")
+        expected = rep.get("cluster_cycles", 0) / total if total else 0.0
+        if abs(weight - expected) > _WEIGHT_TOL:
+            problems.append(
+                f"cluster {rep.get('cluster')}: weight {weight!r} != "
+                f"cluster_cycles/total_cycles = {expected!r}")
+        span = rep.get("span") or 1
+        est_instructions += (rep.get("cluster_cycles", 0) / span) * rep.get(
+            "measured_instructions", 0.0)
+    stated = (info.get("estimates") or {}).get("instructions")
+    if stated is None:
+        problems.append("estimates.instructions missing")
+    else:
+        expected = round(est_instructions)
+        num_sms = info.get("num_sms")
+        if isinstance(num_sms, int) and num_sms > 0:
+            # The executor clamps to the issue-slot capacity T * num_sms.
+            expected = min(expected, total * num_sms)
+        if abs(expected - stated) > max(1, 1e-9 * abs(est_instructions)):
+            problems.append(
+                f"estimates.instructions {stated} != weighted recomputation "
+                f"{expected}")
+    stated_ipc = (info.get("estimates") or {}).get("ipc")
+    if stated_ipc is not None and total and stated is not None:
+        if abs(stated_ipc - stated / total) > 1e-9 * max(1.0, abs(stated_ipc)):
+            problems.append(
+                f"estimates.ipc {stated_ipc!r} != instructions/total_cycles")
+    for name, bar in (info.get("error_bars") or {}).items():
+        if not isinstance(bar, (int, float)) or bar < 0:
+            problems.append(f"error bar {name!r} is {bar!r}, expected >= 0")
+    return problems

@@ -1,0 +1,121 @@
+"""Sampling plans: what ``--sampled`` means, resolved once at the CLI edge.
+
+A :class:`SamplingPlan` is a frozen value object carried from the CLI to
+the runner and into registry identities; two runs with equal plans are
+comparable, two runs with different plans get different run-id lineages
+(see :func:`repro.registry.records.run_record`). Mirrors the shape of
+:class:`repro.shard.ShardPlan` so the runner's process-wide-default
+pattern applies unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SamplingConfigError
+
+#: Default interval tile length in simulated cycles. Chosen so the
+#: figure-2 experiment points (tens of thousands of cycles) tile into
+#: enough intervals for clustering to separate phases while keeping a
+#: >=10x representative-to-total cycle ratio at the auto cluster count
+#: (measured: worst-case weighted-IPC error ~1% at ~12x reduction across
+#: the figure-2 set — see bench_results/BENCH_sampled_speed.json).
+DEFAULT_INTERVAL_CYCLES = 200
+
+#: Default warmup prefix (cycles re-simulated detail-on, unmeasured,
+#: before a representative's measured region). Checkpoints are taken at
+#: interval starts and restore bit-identical machine state, so warmup is
+#: a robustness margin — it only changes which checkpoint is restored.
+DEFAULT_WARMUP_CYCLES = 0
+
+#: Upper bound on representatives the auto policy will pick — a cost
+#: backstop for very long profiles, far above what the figure-2 set hits.
+_AUTO_MAX_CLUSTERS = 64
+
+#: Target representative fraction of the auto policy: about one
+#: representative per this many profiled intervals (the direct lever on
+#: the detailed-cycle reduction factor).
+_AUTO_INTERVALS_PER_CLUSTER = 12
+
+
+@dataclass(frozen=True)
+class SamplingPlan:
+    """Parameters of one sampled execution (``--sampled``)."""
+
+    interval_cycles: int = DEFAULT_INTERVAL_CYCLES
+    warmup_cycles: int = DEFAULT_WARMUP_CYCLES
+    #: Representative count; ``None`` scales with the profiled interval
+    #: count (see :meth:`resolve_clusters`).
+    clusters: Optional[int] = None
+
+    def __post_init__(self):
+        if self.interval_cycles < 1:
+            raise SamplingConfigError(
+                f"--sample-intervals must be >= 1 cycle, got "
+                f"{self.interval_cycles}",
+                details={"interval_cycles": self.interval_cycles},
+            )
+        if self.warmup_cycles < 0:
+            raise SamplingConfigError(
+                f"--sample-warmup must be >= 0 cycles, got "
+                f"{self.warmup_cycles}",
+                details={"warmup_cycles": self.warmup_cycles},
+            )
+        if self.clusters is not None and self.clusters < 1:
+            raise SamplingConfigError(
+                f"--sample-clusters must be >= 1, got {self.clusters}",
+                details={"clusters": self.clusters},
+            )
+
+    @property
+    def identity_tag(self) -> str:
+        """Compact plan identity for cache keys and sweep provenance."""
+        k = self.clusters if self.clusters is not None else "auto"
+        return f"sampled:i{self.interval_cycles}:w{self.warmup_cycles}:k{k}"
+
+    def identity(self) -> dict:
+        """Identity block embedded in sampled registry records."""
+        return {
+            "interval_cycles": self.interval_cycles,
+            "warmup_cycles": self.warmup_cycles,
+            "clusters": self.clusters if self.clusters is not None else "auto",
+        }
+
+    def resolve_clusters(self, num_intervals: int) -> int:
+        """Representative count for a profile of ``num_intervals`` tiles."""
+        if num_intervals < 1:
+            raise SamplingConfigError(
+                "cannot sample a profile with no intervals",
+                details={"num_intervals": num_intervals},
+            )
+        if self.clusters is not None:
+            return min(self.clusters, num_intervals)
+        auto = num_intervals // _AUTO_INTERVALS_PER_CLUSTER
+        return max(1, min(_AUTO_MAX_CLUSTERS, auto, num_intervals))
+
+
+def reject_unsupported(
+    plan: SamplingPlan,
+    *,
+    telemetry: bool = False,
+    sharded: bool = False,
+) -> None:
+    """Raise when the sampled executor cannot honour a feature combination.
+
+    Sampled runs extrapolate statistics from representative intervals;
+    a telemetry hub (whose stall attribution and event stream only make
+    sense over a full run) and the epoch-barrier shard engine (a
+    different executor entirely) are both structurally incompatible.
+    """
+    if telemetry:
+        raise SamplingConfigError(
+            "--sampled cannot run with a telemetry hub: stall attribution "
+            "and event traces require every cycle to be simulated",
+            details={"conflict": "telemetry", "plan": plan.identity()},
+        )
+    if sharded:
+        raise SamplingConfigError(
+            "--sampled cannot combine with --shards: pick one executor",
+            details={"conflict": "shards", "plan": plan.identity()},
+        )

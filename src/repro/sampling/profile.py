@@ -1,0 +1,233 @@
+"""The profiling pass: one detailed run, tiled into signature intervals.
+
+Sampled simulation needs three things from a workload/config point before
+it can skip work: (1) behaviour signatures per fixed-size interval (the
+clustering features — the :data:`~repro.telemetry.intervals.INTERVAL_METRICS`
+registry, including the stall-mix and L2 metrics added for this purpose),
+(2) machine-state checkpoints at interval starts so representatives can
+be re-simulated in isolation, and (3) the run's total cycle count (the
+structural quantity the estimator extrapolates over). One coarse-window
+detailed run produces all three; its cost is paid once per
+``(workload, config, scale, gpu-config, interval)`` and amortised across
+every sampled evaluation through the profile store.
+
+Interval boundaries are the simulator's actual pause cycles: the profiler
+drives :meth:`~repro.sm.simulator.GPUSimulator.step_until` to each
+``interval_cycles`` boundary, flushes the collector at the pause point
+and snapshots there. Because pause/resume is bit-identical, restoring the
+snapshot taken at an interval's start and stepping to its end reproduces
+the profile's own counter deltas exactly — warmup is a robustness margin,
+not a correctness requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.config import GPUConfig
+from repro.integrity.checkpoint import CheckpointSeries
+from repro.sm.simulator import GPUSimulator
+from repro.telemetry.hub import TelemetryHub
+from repro.telemetry.intervals import INTERVAL_METRICS, IntervalCollector
+
+#: Bump when the stored profile layout changes incompatibly.
+PROFILE_FORMAT = 1
+
+#: Hub window during profiling: never flush the hub's own collector (the
+#: profiler drives a separate collector at exact pause points instead).
+_NO_FLUSH_WINDOW = 1 << 62
+
+#: Signature features used for clustering, in order. A subset of
+#: INTERVAL_METRICS: cumulative metrics (ipc_cum) and raw counts that
+#: scale with span (instructions, l1_accesses) would smear phase
+#: structure, so only per-cycle/ratio behaviour descriptors cluster.
+SIGNATURE_FEATURES: tuple[str, ...] = (
+    "ipc",
+    "l1_miss_rate",
+    "l2_miss_rate",
+    "mshr_occupancy",
+    "prefetch_accuracy",
+    "stall_frac_mshr_full",
+    "stall_frac_dram_queue",
+    "stall_frac_l1_pending",
+    "stall_frac_scoreboard",
+    "stall_frac_sched_throttle",
+    "stall_frac_no_warp",
+)
+
+
+@dataclass(frozen=True)
+class ProfileInterval:
+    """One profiled tile: [start, end) plus its metric signature."""
+
+    index: int
+    start: int
+    end: int
+    metrics: dict[str, float]
+
+    @property
+    def span(self) -> int:
+        return self.end - self.start
+
+    def signature(self) -> tuple[float, ...]:
+        return tuple(float(self.metrics[name]) for name in SIGNATURE_FEATURES)
+
+    def as_dict(self) -> dict:
+        return {"index": self.index, "start": self.start, "end": self.end,
+                "metrics": dict(self.metrics)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ProfileInterval":
+        return cls(index=int(payload["index"]), start=int(payload["start"]),
+                   end=int(payload["end"]),
+                   metrics=dict(payload["metrics"]))
+
+
+@dataclass
+class SampleProfile:
+    """Everything the sampled executor needs about one profiled point."""
+
+    workload: str
+    config_name: str
+    scale: float
+    config_hash: str
+    kernel_name: str
+    num_sms: int
+    interval_cycles: int
+    total_cycles: int
+    intervals: list[ProfileInterval]
+    checkpoint_cycles: list[int]
+    checkpoint_stride: int
+    #: Full-run ground truth (flattened stats + ipc). The estimator never
+    #: reads it — it exists so benches and CI can *measure* estimation
+    #: error instead of assuming it.
+    truth: dict[str, float] = field(default_factory=dict)
+    format: int = PROFILE_FORMAT
+
+    def as_dict(self) -> dict:
+        return {
+            "format": self.format,
+            "workload": self.workload,
+            "config_name": self.config_name,
+            "scale": self.scale,
+            "config_hash": self.config_hash,
+            "kernel_name": self.kernel_name,
+            "num_sms": self.num_sms,
+            "interval_cycles": self.interval_cycles,
+            "total_cycles": self.total_cycles,
+            "intervals": [iv.as_dict() for iv in self.intervals],
+            "checkpoint_cycles": list(self.checkpoint_cycles),
+            "checkpoint_stride": self.checkpoint_stride,
+            "truth": dict(self.truth),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SampleProfile":
+        return cls(
+            workload=payload["workload"],
+            config_name=payload["config_name"],
+            scale=float(payload["scale"]),
+            config_hash=payload["config_hash"],
+            kernel_name=payload["kernel_name"],
+            num_sms=int(payload["num_sms"]),
+            interval_cycles=int(payload["interval_cycles"]),
+            total_cycles=int(payload["total_cycles"]),
+            intervals=[ProfileInterval.from_dict(p)
+                       for p in payload["intervals"]],
+            checkpoint_cycles=[int(c) for c in payload["checkpoint_cycles"]],
+            checkpoint_stride=int(payload["checkpoint_stride"]),
+            truth=dict(payload.get("truth") or {}),
+            format=int(payload.get("format", PROFILE_FORMAT)),
+        )
+
+
+class _RecordSink:
+    """Interval sink collecting flush records in order."""
+
+    def __init__(self) -> None:
+        self.records: list[dict[str, Any]] = []
+
+    def on_interval(self, record: dict[str, Any]) -> None:
+        self.records.append(record)
+
+
+def build_simulator(workload_abbr: str, config_name: str, scale: float,
+                    gpu_config: GPUConfig,
+                    telemetry: Optional[TelemetryHub] = None) -> GPUSimulator:
+    """A fresh simulator for one point, built exactly as the runner does."""
+    from repro.experiments.configs import CONFIGS
+    from repro.workloads.suite import workload
+    from repro.workloads.synthetic import build_kernel
+
+    spec = workload(workload_abbr)
+    kernel = build_kernel(spec, scale)
+    engine = CONFIGS[config_name]
+    return GPUSimulator(kernel, gpu_config, engine.build, telemetry=telemetry)
+
+
+def build_profile(
+    workload_abbr: str,
+    config_name: str,
+    scale: float,
+    gpu_config: GPUConfig,
+    interval_cycles: int,
+    *,
+    max_checkpoints: int = 256,
+) -> tuple[SampleProfile, CheckpointSeries]:
+    """Run the point once in detail; tile, sign, and checkpoint it."""
+    from repro.registry.records import config_hash, flatten_metrics
+
+    hub = TelemetryHub(window=_NO_FLUSH_WINDOW)
+    sim = build_simulator(workload_abbr, config_name, scale, gpu_config,
+                          telemetry=hub)
+    collector = IntervalCollector(
+        sim.stats,
+        sim.subsystem.l1s,
+        window=interval_cycles,
+        num_sms=gpu_config.num_sms,
+        stalls=hub.stalls,
+    )
+    sink = _RecordSink()
+    collector.add_sink(sink)
+    series = CheckpointSeries(max_entries=max_checkpoints)
+    boundary = interval_cycles
+    index = 0
+    while True:
+        finished = sim.step_until(boundary)
+        now = sim.current_cycle
+        if finished:
+            collector.finish(now)
+            break
+        collector.on_tick(now)
+        index += 1
+        series.offer(index, sim)
+        boundary = now + interval_cycles
+    result = sim.result()
+    intervals = [
+        ProfileInterval(
+            index=i,
+            start=record["cycle_start"],
+            end=record["cycle_end"],
+            metrics={name: record[name] for name in INTERVAL_METRICS},
+        )
+        for i, record in enumerate(sink.records)
+    ]
+    truth = flatten_metrics(result.stats.as_dict())
+    truth["ipc"] = result.stats.ipc
+    truth["engine_events"] = float(result.engine_events)
+    profile = SampleProfile(
+        workload=workload_abbr,
+        config_name=config_name,
+        scale=scale,
+        config_hash=config_hash(gpu_config),
+        kernel_name=result.kernel_name,
+        num_sms=gpu_config.num_sms,
+        interval_cycles=interval_cycles,
+        total_cycles=result.stats.cycles,
+        intervals=intervals,
+        checkpoint_cycles=series.cycles(),
+        checkpoint_stride=series.stride,
+        truth=truth,
+    )
+    return profile, series

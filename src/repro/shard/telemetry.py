@@ -263,13 +263,21 @@ class _MergedL1Stats:
 
 
 class _MergedStats:
-    """Stats view fed to the interval collector, updated at barriers."""
+    """Stats view fed to the interval collector, updated at barriers.
 
-    __slots__ = ("instructions", "l1")
+    ``memory`` is not a merged copy: it aliases the parent-held
+    authoritative :class:`~repro.stats.counters.MemoryStats` (all L2/DRAM
+    counters are charged parent-side during boundary replay, before the
+    window's ``hub.on_tick``), so ``l2_miss_rate`` reads the same values
+    the serial engine would.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("instructions", "l1", "memory")
+
+    def __init__(self, memory: Any = None) -> None:
         self.instructions = 0
         self.l1 = _MergedL1Stats()
+        self.memory = memory
 
 
 class _LaneL1View:
@@ -307,7 +315,7 @@ class ShardTelemetryCoordinator:
         self.hub = hub
         self.exact = exact
         self.num_sms = config.num_sms
-        self.stats_view = _MergedStats()
+        self.stats_view = _MergedStats(shared.memory_stats)
         self.l1_views = [_LaneL1View() for _ in range(config.num_sms)]
         self._shared = shared
         self._capture: Optional[_CaptureSink] = None
@@ -522,6 +530,7 @@ class ShardTelemetryCoordinator:
         """Final barrier done, worker stats merged: close out the hub."""
         view = self.stats_view
         view.instructions = stats.instructions
+        view.memory = stats.memory
         l1 = stats.l1
         merged_l1 = view.l1
         merged_l1.accesses = l1.accesses

@@ -141,6 +141,15 @@ class GPUSimulator:
         """Total line fills landed in any L1 (watchdog progress signal)."""
         return sum(l1.mshrs.released_total for l1 in self._subsystem.l1s)
 
+    @property
+    def engine_events(self) -> int:
+        """Scheduler + prefetcher bookkeeping events so far (energy input).
+
+        Readable mid-run — the sampled executor measures per-interval
+        deltas of it — and equal to ``result().engine_events`` at finish.
+        """
+        return sum(s.events + p.events for s, p in self._engines)
+
     def describe(self, now: Optional[int] = None) -> dict:
         """JSON-ready snapshot of machine state (diagnostic dumps)."""
         if now is None:
@@ -209,7 +218,7 @@ class GPUSimulator:
                 f"kernel {self._kernel.name!r} still running at cycle "
                 f"{self._now}; result() requires a completed simulation"
             )
-        engine_events = sum(s.events + p.events for s, p in self._engines)
+        engine_events = self.engine_events
         return SimulationResult(
             stats=self.stats,
             engine_events=engine_events,

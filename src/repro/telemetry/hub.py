@@ -108,6 +108,7 @@ class TelemetryHub:  # simlint: boundary[epoch-serialized telemetry fan-in]
             subsystem.l1s,
             window=self.window,
             num_sms=self.num_sms,
+            stalls=self.stalls,
         )
         for sink in self._interval_sinks:
             self.intervals.add_sink(sink)
@@ -144,7 +145,7 @@ class TelemetryHub:  # simlint: boundary[epoch-serialized telemetry fan-in]
         self.num_sms = num_sms
         self.stalls = StallEngine(num_sms, dram)
         self.intervals = IntervalCollector(
-            stats, l1s, window=self.window, num_sms=num_sms
+            stats, l1s, window=self.window, num_sms=num_sms, stalls=self.stalls
         )
         for sink in self._interval_sinks:
             self.intervals.add_sink(sink)

@@ -23,11 +23,12 @@ ends at ``stats.cycles``.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Sequence
+from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mem.cache import L1Cache
     from repro.stats.counters import SimStats
+    from repro.telemetry.stalls import StallEngine
 
 #: Default window length in simulated cycles.
 DEFAULT_WINDOW = 5_000
@@ -46,6 +47,26 @@ INTERVAL_METRICS: dict[str, str] = {
         "prefetched lines that served a demand (hit or MSHR merge) over "
         "prefetches issued, within the window"
     ),
+    "l2_miss_rate": "L2 miss rate within the window (0.0 without L2 traffic)",
+    "stall_frac_mshr_full": (
+        "fraction of the window's SM-cycles stalled on mshr_full "
+        "(exclusive-cause attribution; 0.0 without a stall engine)"
+    ),
+    "stall_frac_dram_queue": (
+        "fraction of the window's SM-cycles stalled on dram_queue"
+    ),
+    "stall_frac_l1_pending": (
+        "fraction of the window's SM-cycles stalled on l1_pending"
+    ),
+    "stall_frac_scoreboard": (
+        "fraction of the window's SM-cycles stalled on scoreboard"
+    ),
+    "stall_frac_sched_throttle": (
+        "fraction of the window's SM-cycles stalled on sched_throttle"
+    ),
+    "stall_frac_no_warp": (
+        "fraction of the window's SM-cycles stalled on no_warp"
+    ),
 }
 
 
@@ -58,6 +79,8 @@ class IntervalCollector:
         l1s: Sequence["L1Cache"],
         window: int = DEFAULT_WINDOW,
         num_sms: int = 1,
+        *,
+        stalls: Optional["StallEngine"] = None,
     ):
         if window < 1:
             raise ValueError("interval window must be >= 1 cycle")
@@ -65,6 +88,12 @@ class IntervalCollector:
         self._stats = stats
         self._l1s = l1s
         self._num_sms = num_sms
+        #: Memory-side (L2/DRAM) counters; the sharded engine's stats view
+        #: exposes the parent-held authoritative bundle under the same name.
+        self._memory = getattr(stats, "memory", None)
+        #: Stall engine for the exclusive-cause fraction metrics; a
+        #: collector built without one reports those fractions as 0.0.
+        self._stalls = stalls
         self._sinks: list[Any] = []
         self.records_emitted = 0
         self._start = 0
@@ -76,6 +105,10 @@ class IntervalCollector:
         self._misses = 0
         self._prefetch_issued = 0
         self._prefetch_useful = 0
+        self._l2_accesses = 0
+        self._l2_hits = 0
+        self._stall_by_cause: tuple[int, ...] = ()
+        self._issue_cycles = 0
 
     def add_sink(self, sink: Any) -> None:
         self._sinks.append(sink)
@@ -120,6 +153,14 @@ class IntervalCollector:
         self._prefetch_useful = (
             stats.l1.prefetch_useful + stats.l1.prefetch_demand_merged
         )
+        memory = self._memory
+        if memory is not None:
+            self._l2_accesses = memory.l2_accesses
+            self._l2_hits = memory.l2_hits
+        stalls = self._stalls
+        if stalls is not None:
+            self._stall_by_cause = tuple(stalls.by_cause().values())
+            self._issue_cycles = stalls.issue_cycles
 
     # Metric methods — one per INTERVAL_METRICS entry (lint-enforced). ---
 
@@ -157,6 +198,53 @@ class IntervalCollector:
             - self._prefetch_useful
         )
         return useful / issued if issued else 0.0
+
+    def _metric_l2_miss_rate(self) -> float:
+        memory = self._memory
+        if memory is None:
+            return 0.0
+        accesses = memory.l2_accesses - self._l2_accesses
+        hits = memory.l2_hits - self._l2_hits
+        return (accesses - hits) / accesses if accesses else 0.0
+
+    def _stall_frac(self, index: int) -> float:
+        """One cause's share of the window's issue+stall SM-cycles.
+
+        Normalising by the window's *observed* issue+stall deltas (rather
+        than ``span * num_sms``) keeps the fractions exact at flush ticks,
+        where the boundary tick's charges land before the flush in both
+        the serial loop and the sharded barrier merge.
+        """
+        stalls = self._stalls
+        if stalls is None:
+            return 0.0
+        by = tuple(stalls.by_cause().values())
+        prev = self._stall_by_cause or (0,) * len(by)
+        delta = by[index] - prev[index]
+        total = sum(by) - sum(prev)
+        total += stalls.issue_cycles - self._issue_cycles
+        return delta / total if total else 0.0
+
+    # Indices follow STALL_CAUSES declaration order (the stable contract;
+    # see repro/telemetry/stalls.py and repro/shard/telemetry.py).
+
+    def _metric_stall_frac_mshr_full(self) -> float:
+        return self._stall_frac(0)
+
+    def _metric_stall_frac_dram_queue(self) -> float:
+        return self._stall_frac(1)
+
+    def _metric_stall_frac_l1_pending(self) -> float:
+        return self._stall_frac(2)
+
+    def _metric_stall_frac_scoreboard(self) -> float:
+        return self._stall_frac(3)
+
+    def _metric_stall_frac_sched_throttle(self) -> float:
+        return self._stall_frac(4)
+
+    def _metric_stall_frac_no_warp(self) -> float:
+        return self._stall_frac(5)
 
 
 def validate_interval_record(record: Any) -> list[str]:

@@ -1,0 +1,396 @@
+"""Sampled simulation: plans, clustering, estimator and isolation.
+
+The properties pinned here are the ones the sampled executor's claims
+rest on: deterministic representative selection (across hash seeds and
+worker pools), an estimate that is internally consistent and never
+aliases a full run in any cache, and error bars that widen honestly when
+the clustering is made unrepresentative on purpose.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import SamplingConfigError
+from repro.experiments import runner
+from repro.experiments.configs import experiment_gpu_config
+from repro.integrity.checkpoint import CheckpointSeries
+from repro.sampling import (
+    ProfileStore,
+    SamplingPlan,
+    kmedoids,
+    reject_unsupported,
+    sampled_run,
+    set_default_store,
+    verify_estimate,
+    zscore,
+)
+from repro.sm.simulator import GPUSimulator
+from repro.workloads import build_kernel, workload
+
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+#: One small real point used throughout: fast, but long enough to tile
+#: into enough intervals for the auto cluster policy to pick several.
+POINT = ("BFS", "base", 0.1)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_profiles(tmp_path, monkeypatch):
+    """Keep profile blobs out of the working tree and other tests."""
+    monkeypatch.setenv("REPRO_SAMPLE_PROFILE_DIR", str(tmp_path / "profiles"))
+    set_default_store(None)
+    runner.clear_cache()
+    yield
+    set_default_store(None)
+    runner.clear_cache()
+
+
+@pytest.fixture(scope="module")
+def gpu_config():
+    return experiment_gpu_config()
+
+
+def _sampled(plan=None, store=None, point=POINT):
+    app, config, scale = point
+    return sampled_run(app, config, scale, experiment_gpu_config(),
+                       plan or SamplingPlan(), store=store)
+
+
+def _full_stats(point=POINT):
+    app, config, scale = point
+    from repro.experiments.configs import CONFIGS
+
+    kernel = build_kernel(workload(app), scale)
+    return GPUSimulator(kernel, experiment_gpu_config(),
+                        CONFIGS[config].build).run().stats
+
+
+class TestSamplingPlan:
+    def test_validation(self):
+        with pytest.raises(SamplingConfigError):
+            SamplingPlan(interval_cycles=0)
+        with pytest.raises(SamplingConfigError):
+            SamplingPlan(warmup_cycles=-1)
+        with pytest.raises(SamplingConfigError):
+            SamplingPlan(clusters=0)
+
+    def test_identity_tag_distinguishes_plans(self):
+        tags = {
+            SamplingPlan().identity_tag,
+            SamplingPlan(interval_cycles=100).identity_tag,
+            SamplingPlan(warmup_cycles=50).identity_tag,
+            SamplingPlan(clusters=4).identity_tag,
+        }
+        assert len(tags) == 4
+
+    def test_resolve_clusters_auto_and_explicit(self):
+        plan = SamplingPlan()
+        assert plan.resolve_clusters(120) == 10  # one per 12 intervals
+        assert plan.resolve_clusters(5) == 1     # floor, never zero
+        assert plan.resolve_clusters(10_000) == 64  # cost backstop
+        assert SamplingPlan(clusters=8).resolve_clusters(3) == 3  # clamp
+        with pytest.raises(SamplingConfigError):
+            plan.resolve_clusters(0)
+
+    def test_reject_unsupported_combinations(self):
+        plan = SamplingPlan()
+        reject_unsupported(plan)  # alone: fine
+        with pytest.raises(SamplingConfigError):
+            reject_unsupported(plan, telemetry=True)
+        with pytest.raises(SamplingConfigError):
+            reject_unsupported(plan, sharded=True)
+
+
+class TestClustering:
+    def test_partition_is_exact(self):
+        vectors = [(float(i % 4), float(i // 4)) for i in range(23)]
+        clusters = kmedoids(zscore(vectors), 5)
+        seen = sorted(i for c in clusters for i in c.members)
+        assert seen == list(range(23))
+        for cluster in clusters:
+            assert cluster.medoid in cluster.members
+
+    def test_deterministic_across_calls(self):
+        vectors = zscore([((i * 7) % 13 / 13.0, (i * 3) % 5 / 5.0)
+                          for i in range(40)])
+        assert kmedoids(vectors, 6) == kmedoids(vectors, 6)
+
+    def test_constant_feature_collapses(self):
+        scored = zscore([(1.0, float(i)) for i in range(5)])
+        assert all(v[0] == 0.0 for v in scored)
+
+
+class TestCheckpointSeries:
+    def test_thinning_doubles_stride_and_bounds_entries(self, gpu_config):
+        kernel = build_kernel(workload("BFS"), 0.05)
+        from repro.experiments.configs import CONFIGS
+
+        sim = GPUSimulator(kernel, gpu_config, CONFIGS["base"].build)
+        series = CheckpointSeries(max_entries=4)
+        for index in range(10):
+            series.offer(index, sim)
+        assert len(series) <= 4
+        assert series.stride > 1
+        cycles = series.cycles()
+        assert cycles == sorted(cycles)
+        best = series.best_for(10**9)
+        assert best is not None and best[0] == max(cycles)
+        assert series.best_for(-1) is None
+
+
+class TestSampledEstimate:
+    def test_internally_consistent_and_structural(self):
+        result, info = _sampled()
+        assert verify_estimate(info) == []
+        full = _full_stats()
+        # Cycles are structural (profile ground truth), not extrapolated.
+        assert result.stats.cycles == full.cycles
+        assert info["total_cycles"] == full.cycles
+        # The issue/stall partition identity survives extrapolation.
+        num_sms = info["num_sms"]
+        assert (result.stats.instructions + result.stats.idle_cycles
+                == full.cycles * num_sms)
+        assert info["detailed_cycles"] < full.cycles
+        assert info["cycle_reduction"] > 1.0
+
+    def test_bars_cover_actual_error(self):
+        result, info = _sampled()
+        full = _full_stats()
+        actual = abs(result.stats.ipc - full.ipc)
+        assert actual <= info["error_bars"]["ipc"]
+
+    def test_weights_sum_to_one(self):
+        _, info = _sampled()
+        assert abs(sum(info["weights"]) - 1.0) < 1e-9
+        assert len(info["weights"]) == info["clusters"]
+
+    def test_deterministic_selection_and_estimates(self):
+        _, first = _sampled()
+        _, second = _sampled()
+        assert first["weights"] == second["weights"]
+        assert first["representatives"] == second["representatives"]
+        assert first["estimates"] == second["estimates"]
+
+    def test_warmup_changes_accounting_not_estimates(self):
+        _, plain = _sampled(SamplingPlan())
+        _, warmed = _sampled(SamplingPlan(warmup_cycles=100))
+        # Warmup re-simulates more unmeasured cycles but restores the
+        # same bit-identical state, so the measured deltas are identical.
+        assert warmed["estimates"] == plain["estimates"]
+        assert warmed["detailed_cycles"] >= plain["detailed_cycles"]
+
+    def test_profile_store_roundtrip(self, tmp_path):
+        root = tmp_path / "store"
+        _, first = _sampled(store=ProfileStore(str(root)))
+        assert first["profile"]["cached"] is False
+        # A fresh store instance must reload the persisted profile and
+        # checkpoints from disk and reproduce the estimate exactly.
+        _, second = _sampled(store=ProfileStore(str(root)))
+        assert second["profile"]["cached"] is True
+        assert second["estimates"] == first["estimates"]
+        assert second["representatives"] == first["representatives"]
+
+    def test_unrepresentative_clustering_widens_bars(self):
+        _, auto = _sampled(SamplingPlan())
+        _, lumped = _sampled(SamplingPlan(clusters=1))
+        assert auto["clusters"] > 1
+        assert lumped["clusters"] == 1
+        # Forcing every phase into one cluster must report the damage:
+        # the dispersion bar widens instead of feigning confidence, and
+        # it still covers the actual error against the full run.
+        assert lumped["error_bars"]["ipc"] > auto["error_bars"]["ipc"]
+        full = _full_stats()
+        est_ipc = lumped["estimates"]["ipc"]
+        assert abs(est_ipc - full.ipc) <= lumped["error_bars"]["ipc"]
+
+
+class TestVerifyEstimateNegative:
+    def test_corrupted_weight_vector_trips(self):
+        _, info = _sampled()
+        corrupted = json.loads(json.dumps(info))
+        corrupted["weights"][0] *= 1.5
+        assert verify_estimate(corrupted)
+
+    def test_tampered_estimate_trips(self):
+        _, info = _sampled()
+        corrupted = json.loads(json.dumps(info))
+        corrupted["estimates"]["instructions"] += 10_000
+        assert verify_estimate(corrupted)
+
+    def test_truncated_weights_trip(self):
+        _, info = _sampled()
+        corrupted = json.loads(json.dumps(info))
+        corrupted["weights"] = corrupted["weights"][:-1]
+        assert verify_estimate(corrupted)
+
+    def test_negative_bar_trips(self):
+        _, info = _sampled()
+        corrupted = json.loads(json.dumps(info))
+        corrupted["error_bars"]["ipc"] = -1.0
+        assert verify_estimate(corrupted)
+
+
+class TestRunnerIsolation:
+    def test_sampled_and_full_never_share_cache_keys(self, gpu_config):
+        app, config, scale = POINT
+        plan = SamplingPlan()
+        full_key = runner.cache_key(app, config, scale, gpu_config,
+                                    sampling_plan=None)
+        sampled_key = runner.cache_key(app, config, scale, gpu_config,
+                                       sampling_plan=plan)
+        assert full_key != sampled_key
+        other = runner.cache_key(app, config, scale, gpu_config,
+                                 sampling_plan=SamplingPlan(clusters=3))
+        assert other not in (full_key, sampled_key)
+
+    def test_full_run_does_not_replay_as_sampled(self, gpu_config):
+        app, config, scale = POINT
+        runner.run(app, config, scale, gpu_config, sampling_plan=None)
+        assert not runner.is_cached(app, config, scale, gpu_config,
+                                    sampling_plan=SamplingPlan())
+        sampled = runner.run(app, config, scale, gpu_config,
+                             sampling_plan=SamplingPlan())
+        assert sampled.sampling_info is not None
+        # ... and the sampled result did not overwrite the full entry.
+        full = runner.run(app, config, scale, gpu_config, sampling_plan=None)
+        assert full.sampling_info is None
+
+    def test_default_plan_routes_plain_run_calls(self, gpu_config):
+        app, config, scale = POINT
+        runner.set_default_sampling_plan(SamplingPlan())
+        try:
+            result = runner.run(app, config, scale, gpu_config)
+        finally:
+            runner.set_default_sampling_plan(None)
+        assert result.sampling_info is not None
+        # With the default cleared, the same call is a full run again.
+        assert runner.run(app, config, scale,
+                          gpu_config).sampling_info is None
+
+    def test_telemetry_and_shards_rejected(self, gpu_config):
+        from repro.shard import ShardPlan
+        from repro.telemetry import TelemetryHub
+
+        app, config, scale = POINT
+        with pytest.raises(SamplingConfigError):
+            runner.run(app, config, scale, gpu_config,
+                       telemetry=TelemetryHub(),
+                       sampling_plan=SamplingPlan())
+        with pytest.raises(SamplingConfigError):
+            runner.run(app, config, scale, gpu_config,
+                       shard_plan=ShardPlan(2, 1),
+                       sampling_plan=SamplingPlan())
+
+
+class TestRegistryIdentity:
+    def test_sampled_record_gets_its_own_lineage(self, gpu_config):
+        from repro.registry.records import run_record
+
+        app, config, scale = POINT
+        full = runner.run(app, config, scale, gpu_config, sampling_plan=None)
+        sampled = runner.run(app, config, scale, gpu_config,
+                             sampling_plan=SamplingPlan())
+        rec_full = run_record(full, scale, gpu_config)
+        rec_sampled = run_record(sampled, scale, gpu_config)
+        assert rec_full.run_id != rec_sampled.run_id
+        assert rec_sampled.data["sampling"]["error_bars"]["ipc"] >= 0
+        # Different plans are different estimators, hence lineages.
+        other = runner.run(app, config, scale, gpu_config,
+                           sampling_plan=SamplingPlan(clusters=2))
+        assert run_record(other, scale,
+                          gpu_config).run_id != rec_sampled.run_id
+
+    def test_diff_bars_absorb_sampled_uncertainty(self):
+        from repro.registry.diffing import diff_metrics
+
+        a = {"ipc": 1.00, "cycles": 1000.0}
+        b = {"ipc": 1.04, "cycles": 1000.0}
+        tight = diff_metrics(a, b, rtol=0.001)
+        assert not tight.ok
+        with_bars = diff_metrics(a, b, rtol=0.001, bars={"ipc": 0.05})
+        assert with_bars.ok
+        # A disagreement beyond the stated bar still fails.
+        beyond = diff_metrics(a, {"ipc": 1.10, "cycles": 1000.0},
+                              rtol=0.001, bars={"ipc": 0.05})
+        assert not beyond.ok
+
+
+_HASH_SEED_SCRIPT = """
+import json
+from repro.experiments.configs import experiment_gpu_config
+from repro.sampling import SamplingPlan, sampled_run
+
+result, info = sampled_run("BFS", "base", 0.1, experiment_gpu_config(),
+                           SamplingPlan())
+print(json.dumps({
+    "weights": info["weights"],
+    "representatives": [r["interval"] for r in info["representatives"]],
+    "estimates": info["estimates"],
+    "stats": result.stats.as_dict(),
+}, sort_keys=True))
+"""
+
+
+class TestHashRandomization:
+    def test_selection_and_estimates_stable_across_hash_seeds(
+            self, tmp_path):
+        outputs = {}
+        for seed in ("0", "1", "31337"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = seed
+            env["PYTHONPATH"] = SRC_DIR
+            # Fresh store per seed: determinism must come from the code,
+            # not from one process reusing another's persisted profile.
+            env["REPRO_SAMPLE_PROFILE_DIR"] = str(tmp_path / f"seed{seed}")
+            proc = subprocess.run(
+                [sys.executable, "-c", _HASH_SEED_SCRIPT],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            outputs[seed] = proc.stdout
+        assert outputs["0"] == outputs["1"] == outputs["31337"]
+        assert json.loads(outputs["0"])["weights"]
+
+
+class TestSweepIntegration:
+    def _sweep(self, tmp_path, name, jobs):
+        from repro.experiments.sweep import SweepPoint, run_sweep
+
+        points = [SweepPoint("BFS", "base", 0.1),
+                  SweepPoint("KM", "base", 0.1)]
+        out = tmp_path / f"{name}.jsonl"
+        summary = run_sweep(points, str(out), jobs=jobs,
+                            sampling_plan=SamplingPlan())
+        assert summary.failed == 0
+        records = {}
+        with open(out, "r", encoding="utf-8") as fh:
+            for line in fh:
+                record = json.loads(line)
+                records[record["key"]] = record
+        return records
+
+    def test_serial_and_jobs2_records_identical(self, tmp_path):
+        serial = self._sweep(tmp_path, "serial", jobs=1)
+        parallel = self._sweep(tmp_path, "par", jobs=2)
+        assert serial.keys() == parallel.keys()
+        for key in serial:
+            assert serial[key]["sampling"] == parallel[key]["sampling"]
+            assert serial[key]["stats"] == parallel[key]["stats"]
+            assert serial[key]["ipc"] == parallel[key]["ipc"]
+
+    def test_sampled_records_carry_provenance_identity(self, tmp_path):
+        from repro.registry.records import sweep_point_identity
+
+        records = self._sweep(tmp_path, "prov", jobs=1)
+        record = records["BFS|base|0.1"]
+        assert record["sampling"]["plan"]["interval_cycles"] == 200
+        provenance = {"sampling": SamplingPlan().identity_tag}
+        identity = sweep_point_identity("BFS", "base", 0.1, provenance)
+        bare = sweep_point_identity("BFS", "base", 0.1, {})
+        assert identity != bare

@@ -142,6 +142,29 @@ class TestIntervalRecords:
             == result.stats.instructions
         )
 
+    def test_load_characteristic_metrics_are_bounded_fractions(self):
+        """The sampling-signature metrics: L2 miss rate and the
+        exclusive-cause stall fractions are all in [0, 1], and the stall
+        fractions — one exclusive cause per stalled SM-cycle — never sum
+        past 1 within a window."""
+        hub = TelemetryHub(window=400)
+        sink = InMemorySink()
+        hub.add_interval_sink(sink)
+        cfg = make_config(num_sms=2)
+        simulate(mixed_kernel(iterations=8), cfg, CONFIGS["apres"].build,
+                 telemetry=hub)
+        stall_names = [n for n in INTERVAL_METRICS
+                       if n.startswith("stall_frac_")]
+        assert len(stall_names) == 6
+        saw_stall = False
+        for record in sink.intervals:
+            assert 0.0 <= record["l2_miss_rate"] <= 1.0
+            total = sum(record[name] for name in stall_names)
+            assert 0.0 <= total <= 1.0 + 1e-9
+            saw_stall = saw_stall or total > 0.0
+        # The mixed kernel misses enough for some cause to show up.
+        assert saw_stall
+
     def test_jsonl_writer_round_trips(self, tmp_path):
         out = tmp_path / "intervals.jsonl"
         hub = TelemetryHub(window=500)
